@@ -1,0 +1,123 @@
+// Command bebop-sim runs a single workload under a single processor
+// configuration and prints the detailed result: cycle counts, IPC, branch
+// and value prediction statistics.
+//
+// Usage:
+//
+//	bebop-sim -bench swim -config eole-bebop -predictor Medium -n 200000
+//
+// Configurations:
+//
+//	baseline      Baseline_6_60 (no VP)
+//	baseline-vp   Baseline_VP_6_60 (-predictor selects the predictor:
+//	              2d-Stride, VTAGE, VTAGE-2d-Stride, D-VTAGE)
+//	eole          EOLE_4_60 with a per-instruction D-VTAGE
+//	eole-bebop    EOLE_4_60 with BeBoP (-predictor selects a Table III
+//	              config: Small_4p, Small_6p, Medium, Large)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bebop/internal/bebop"
+	"bebop/internal/core"
+	"bebop/internal/pipeline"
+	"bebop/internal/specwindow"
+	"bebop/internal/util"
+	"bebop/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "swim", "Table II benchmark name (see -list)")
+	config := flag.String("config", "baseline", "baseline | baseline-vp | eole | eole-bebop | eole-bebop-custom")
+	pred := flag.String("predictor", "D-VTAGE", "predictor (baseline-vp) or Table III config (eole-bebop)")
+	n := flag.Int64("n", 200_000, "dynamic instructions to simulate")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	npred := flag.Int("npred", 6, "custom: predictions per entry")
+	base := flag.Int("base", 2048, "custom: base component entries")
+	tagged := flag.Int("tagged", 256, "custom: tagged component entries")
+	stride := flag.Int("stride", 64, "custom: stride bits")
+	win := flag.Int("win", -1, "custom: speculative window entries (-1 inf, 0 none)")
+	pol := flag.String("policy", "Ideal", "custom: recovery policy (Ideal, Repred, DnRDnR, DnRR)")
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.Profiles() {
+			typ := "FP "
+			if p.INT {
+				typ = "INT"
+			}
+			fmt.Printf("%-12s %-8s %s paper-IPC=%.3f\n", p.Name, p.Suite, typ, p.PaperIPC)
+		}
+		return
+	}
+
+	var mk core.ConfigFactory
+	switch *config {
+	case "baseline":
+		mk = core.Baseline()
+	case "baseline-vp":
+		mk = core.BaselineVP(*pred)
+	case "eole":
+		mk = core.EOLEInstVP()
+	case "eole-bebop":
+		var bb bebop.Config
+		switch *pred {
+		case "Small_4p":
+			bb = core.SmallConfig4p()
+		case "Small_6p":
+			bb = core.SmallConfig6p()
+		case "Medium":
+			bb = core.MediumConfig()
+		case "Large":
+			bb = core.LargeConfig()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown Table III config %q\n", *pred)
+			os.Exit(2)
+		}
+		mk = core.EOLEBeBoP(*pred, bb)
+	case "eole-bebop-custom":
+		policy, ok := specwindow.ParsePolicy(*pol)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown policy %q\n", *pol)
+			os.Exit(2)
+		}
+		bb := core.BlockConfig(*npred, *base, *tagged, *stride, *win, policy)
+		mk = core.EOLEBeBoP("custom", bb)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown config %q\n", *config)
+		os.Exit(2)
+	}
+
+	res, err := core.RunByName(*bench, *n, mk)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	printResult(res)
+}
+
+func printResult(r pipeline.Result) {
+	fmt.Printf("config            %s\n", r.Config)
+	fmt.Printf("cycles            %d\n", r.Cycles)
+	fmt.Printf("instructions      %d\n", r.Insts)
+	fmt.Printf("uops              %d\n", r.UOps)
+	fmt.Printf("IPC               %.3f\n", r.IPC)
+	fmt.Printf("uops/cycle        %.3f\n", r.UPC)
+	fmt.Printf("branch MPKI       %.2f\n", r.BrMispPKI)
+	fmt.Printf("L1D misses        %d\n", r.L1DMisses)
+	fmt.Printf("L2 misses         %d\n", r.L2Misses)
+	fmt.Printf("squashed uops     %d\n", r.SquashedUOps)
+	fmt.Printf("value mispredicts %d\n", r.ValueMispredicts)
+	fmt.Printf("memorder flushes  %d\n", r.MemOrderFlushes)
+	if r.StorageBits > 0 {
+		fmt.Printf("VP storage        %s\n", util.KB(r.StorageBits))
+		fmt.Printf("VP eligible       %d\n", r.VP.Eligible)
+		fmt.Printf("VP used           %d (coverage %.1f%%)\n", r.VP.Used, 100*r.VP.Coverage())
+		fmt.Printf("VP accuracy       %.3f%%\n", 100*r.VP.Accuracy())
+		fmt.Printf("specwin hits      %d / %d probes\n", r.VP.SpecWindowHits, r.VP.SpecWindowProbes)
+		fmt.Printf("early|late|ldimm  %d | %d | %d\n", r.EarlyExecuted, r.LateExecuted, r.FreeLoadImms)
+	}
+}

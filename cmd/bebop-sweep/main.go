@@ -1,0 +1,46 @@
+// Command bebop-sweep regenerates the paper's tables and figures: for each
+// experiment id it runs the corresponding configuration sweep over the
+// Table II workload suite and prints the same rows/series the paper
+// reports.
+//
+// Usage:
+//
+//	bebop-sweep -exp fig8 -n 100000
+//	bebop-sweep -exp all
+//	bebop-sweep -exp fig7b -w swim,applu,bzip2 -n 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bebop/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: "+strings.Join(experiments.ExperimentIDs(), ", ")+", or 'all'")
+	n := flag.Int64("n", 100_000, "dynamic instructions per workload")
+	w := flag.String("w", "", "comma-separated workload subset (default: all 36)")
+	par := flag.Int("p", 0, "max parallel simulations (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	opts := experiments.Options{Insts: *n, Parallel: *par}
+	if *w != "" {
+		opts.Workloads = strings.Split(*w, ",")
+	}
+	r := experiments.NewRunner(opts)
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.ExperimentIDs()
+	}
+	for _, id := range ids {
+		if err := r.RunAndRender(os.Stdout, id); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,93 @@
+// Command bebop-trace dumps the dynamic instruction trace of a workload:
+// PCs, byte sizes, fetch-block boundaries, µ-ops with their classes,
+// registers, values and memory addresses — useful for inspecting what the
+// predictor actually sees.
+//
+// Usage:
+//
+//	bebop-trace -bench swim -n 40
+//	bebop-trace -bench mcf -n 1000 -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bebop/internal/isa"
+	"bebop/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "swim", "Table II benchmark name")
+	n := flag.Int64("n", 50, "instructions to emit")
+	summary := flag.Bool("summary", false, "print per-class totals instead of a listing")
+	flag.Parse()
+
+	g, ok := workload.NewByName(*bench, *n)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+
+	var in isa.Inst
+	if *summary {
+		classes := map[string]int{}
+		branches := map[isa.BranchKind]int{}
+		insts, uops := 0, 0
+		for g.Next(&in) {
+			insts++
+			branches[in.Kind]++
+			for i := 0; i < in.NumUOps; i++ {
+				classes[in.UOps[i].Class.String()]++
+				uops++
+			}
+		}
+		fmt.Printf("instructions %d, µ-ops %d (%.2f µ-ops/inst)\n", insts, uops, float64(uops)/float64(insts))
+		for c, cnt := range classes {
+			fmt.Printf("  %-8s %7d (%5.1f%%)\n", c, cnt, 100*float64(cnt)/float64(uops))
+		}
+		fmt.Printf("branches: cond %d, direct %d, call %d, return %d\n",
+			branches[isa.BranchCond], branches[isa.BranchDirect],
+			branches[isa.BranchCall], branches[isa.BranchReturn])
+		return
+	}
+
+	var lastBlock uint64 = ^uint64(0)
+	for g.Next(&in) {
+		blk := isa.BlockPC(in.PC)
+		if blk != lastBlock {
+			fmt.Printf("---- fetch block %#x ----\n", blk)
+			lastBlock = blk
+		}
+		flow := ""
+		switch in.Kind {
+		case isa.BranchCond:
+			if in.Taken {
+				flow = fmt.Sprintf("  cond TAKEN -> %#x", in.Target)
+			} else {
+				flow = "  cond not-taken"
+			}
+		case isa.BranchDirect:
+			flow = fmt.Sprintf("  jmp -> %#x", in.Target)
+		case isa.BranchCall:
+			flow = fmt.Sprintf("  call -> %#x", in.Target)
+		case isa.BranchReturn:
+			flow = fmt.Sprintf("  ret -> %#x", in.Target)
+		}
+		fmt.Printf("%#08x +%-2d (%2dB)%s\n", in.PC, isa.BlockOffset(in.PC), in.Size, flow)
+		for i := 0; i < in.NumUOps; i++ {
+			u := &in.UOps[i]
+			dst := "--"
+			if u.Dest != isa.RegNone {
+				dst = fmt.Sprintf("r%d", u.Dest)
+			}
+			mem := ""
+			if u.Class == isa.ClassLoad || u.Class == isa.ClassStore {
+				mem = fmt.Sprintf(" [%#x]", u.Addr)
+			}
+			fmt.Printf("    µ%d %-6s %-4s <- r%d,r%d = %#x%s\n",
+				i, u.Class, dst, u.Src[0], u.Src[1], u.Value, mem)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package branch
+
+import "bebop/internal/util"
+
+// BTB is a set-associative branch target buffer (Table I: 2-way, 8K-entry).
+type BTB struct {
+	ways    int
+	sets    int
+	entries []btbEntry // sets*ways, way-major within a set
+	clock   uint64
+
+	Lookups, Hits uint64
+}
+
+type btbEntry struct {
+	valid   bool
+	tag     uint64
+	target  uint64
+	lastUse uint64
+}
+
+// NewBTB builds a BTB with the given total entry count and associativity.
+func NewBTB(totalEntries, ways int) *BTB {
+	sets := totalEntries / ways
+	if !util.IsPowerOfTwo(sets) {
+		panic("branch: BTB set count must be a power of two")
+	}
+	return &BTB{
+		ways:    ways,
+		sets:    sets,
+		entries: make([]btbEntry, totalEntries),
+	}
+}
+
+func (b *BTB) set(pc uint64) (int, uint64) {
+	idx := int(util.Mix64(pc) & uint64(b.sets-1))
+	tag := pc
+	return idx, tag
+}
+
+// Lookup returns the predicted target for pc, if any.
+func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
+	b.Lookups++
+	b.clock++
+	set, tag := b.set(pc)
+	base := set * b.ways
+	for w := 0; w < b.ways; w++ {
+		e := &b.entries[base+w]
+		if e.valid && e.tag == tag {
+			e.lastUse = b.clock
+			b.Hits++
+			return e.target, true
+		}
+	}
+	return 0, false
+}
+
+// Insert records pc -> target, evicting the LRU way on conflict.
+func (b *BTB) Insert(pc, target uint64) {
+	b.clock++
+	set, tag := b.set(pc)
+	base := set * b.ways
+	victim := base
+	for w := 0; w < b.ways; w++ {
+		e := &b.entries[base+w]
+		if e.valid && e.tag == tag {
+			e.target = target
+			e.lastUse = b.clock
+			return
+		}
+		if !e.valid {
+			victim = base + w
+			break
+		}
+		if e.lastUse < b.entries[victim].lastUse {
+			victim = base + w
+		}
+	}
+	b.entries[victim] = btbEntry{valid: true, tag: tag, target: target, lastUse: b.clock}
+}
+
+// RAS is a return address stack (Table I: 32 entries) with wrap-around
+// semantics: overflow overwrites the oldest entry, underflow returns junk,
+// exactly like hardware.
+type RAS struct {
+	stack []uint64
+	top   int
+	depth int
+}
+
+// NewRAS builds a RAS with n entries.
+func NewRAS(n int) *RAS {
+	return &RAS{stack: make([]uint64, n)}
+}
+
+// Push records a return address (on a call).
+func (r *RAS) Push(addr uint64) {
+	r.top = (r.top + 1) % len(r.stack)
+	r.stack[r.top] = addr
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop predicts the target of a return. ok is false when the stack is empty
+// (the prediction is then garbage, as in hardware).
+func (r *RAS) Pop() (addr uint64, ok bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	addr = r.stack[r.top]
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	return addr, true
+}
+
+// Depth returns the current number of valid entries.
+func (r *RAS) Depth() int { return r.depth }

@@ -1,0 +1,93 @@
+// Package branch implements the branch prediction substrate of the
+// simulated core: a TAGE conditional predictor (Table I: 1+12 components,
+// ~15K entries), a set-associative BTB, a return address stack, and the
+// global branch / path history registers.
+//
+// The history registers are shared with the value predictor: VTAGE and
+// D-VTAGE index their tagged components with a hash of the PC, the global
+// branch history and the path history, exactly as the TAGE branch predictor
+// does (Perais & Seznec, HPCA 2014; Seznec & Michaud 2006).
+package branch
+
+import "bebop/internal/util"
+
+// MaxHistoryBits is the longest global history any consumer may fold.
+// D-VTAGE's longest component uses 64 bits; TAGE uses up to 256.
+const MaxHistoryBits = 256
+
+// History holds the global branch direction history and the path history.
+// Direction history is a bit vector (most recent outcome in bit 0); path
+// history collects low-order target bits of taken branches.
+type History struct {
+	// dir packs direction history, 64 bits per word, most recent in
+	// dir[0] bit 0.
+	dir [MaxHistoryBits / 64]uint64
+	// path is the path history register (low PC bits of taken targets).
+	path uint64
+}
+
+// Push records a branch outcome and, when taken, the branch target into the
+// path history.
+func (h *History) Push(taken bool, target uint64) {
+	carryIn := uint64(0)
+	if taken {
+		carryIn = 1
+	}
+	for i := range h.dir {
+		carryOut := h.dir[i] >> 63
+		h.dir[i] = h.dir[i]<<1 | carryIn
+		carryIn = carryOut
+	}
+	if taken {
+		h.path = h.path<<3 | (target>>2)&0x7
+	}
+}
+
+// Fold compresses the most recent n bits of direction history into width
+// bits by XOR folding.
+func (h *History) Fold(n, width int) uint64 {
+	if n <= 0 || width <= 0 {
+		return 0
+	}
+	var folded uint64
+	rem := n
+	word := 0
+	for rem > 0 && word < len(h.dir) {
+		take := rem
+		if take > 64 {
+			take = 64
+		}
+		folded ^= util.FoldBits(h.dir[word], take, width)
+		// Rotate the per-word fold so successive words land on different
+		// bits; otherwise identical words cancel.
+		folded = ((folded << 1) | (folded >> (width - 1))) & ((uint64(1) << width) - 1)
+		rem -= take
+		word++
+	}
+	return folded & ((uint64(1) << width) - 1)
+}
+
+// Path returns the path history register.
+func (h *History) Path() uint64 { return h.path }
+
+// Bits returns the n most recent direction bits (n <= 64), most recent in
+// bit 0. Used by the workload generator to derive control-flow-dependent
+// values and by tests.
+func (h *History) Bits(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	if n > 64 {
+		n = 64
+	}
+	if n == 64 {
+		return h.dir[0]
+	}
+	return h.dir[0] & ((uint64(1) << n) - 1)
+}
+
+// Snapshot returns a copy of the history for checkpoint/restore.
+func (h *History) Snapshot() History { return *h }
+
+// Restore overwrites the history from a snapshot.
+func (h *History) Restore(s History) { *h = s }

@@ -1,0 +1,316 @@
+package branch
+
+import "bebop/internal/util"
+
+// TAGE is a TAgged GEometric history length conditional branch predictor
+// (Seznec & Michaud, 2006). The configuration mirrors Table I of the paper:
+// one bimodal base table plus 12 partially tagged components whose history
+// lengths grow geometrically, roughly 15K entries and ~32KB of storage.
+type TAGE struct {
+	cfg  TAGEConfig
+	rng  *util.RNG
+	base []int8 // bimodal 2-bit counters
+
+	comps []tageComp
+
+	// useAltOnNA is the "use alternate prediction on newly allocated entry"
+	// counter from the TAGE paper.
+	useAltOnNA int8
+
+	// tick drives the periodic usefulness reset.
+	tick int
+
+	// Stats.
+	Lookups, Mispredicts uint64
+}
+
+// TAGEConfig sizes the predictor.
+type TAGEConfig struct {
+	BaseEntries   int // bimodal table entries (power of two)
+	CompEntries   int // entries per tagged component (power of two)
+	NumComps      int // number of tagged components
+	MinHist       int // history length of the first tagged component
+	MaxHist       int // history length of the last tagged component
+	TagBits       int // tag width of the first component (+1 every 2 comps)
+	CtrBits       int // signed prediction counter width
+	UsefulResetAt int // lookups between usefulness-reset sweeps
+	Seed          uint64
+}
+
+// DefaultTAGEConfig is the Table I branch predictor: 1+12 components,
+// ~15K entries, ≈32KB.
+func DefaultTAGEConfig() TAGEConfig {
+	return TAGEConfig{
+		BaseEntries:   8192,
+		CompEntries:   512,
+		NumComps:      12,
+		MinHist:       4,
+		MaxHist:       256,
+		TagBits:       9,
+		CtrBits:       3,
+		UsefulResetAt: 1 << 18,
+		Seed:          0xB5,
+	}
+}
+
+type tageEntry struct {
+	ctr    int8 // signed, centered on 0 (taken when >= 0)
+	tag    uint16
+	useful uint8
+}
+
+type tageComp struct {
+	entries []tageEntry
+	histLen int
+	tagBits int
+	idxBits int
+}
+
+// NewTAGE builds a predictor from cfg.
+func NewTAGE(cfg TAGEConfig) *TAGE {
+	if !util.IsPowerOfTwo(cfg.BaseEntries) || !util.IsPowerOfTwo(cfg.CompEntries) {
+		panic("branch: TAGE table sizes must be powers of two")
+	}
+	t := &TAGE{
+		cfg:  cfg,
+		rng:  util.NewRNG(cfg.Seed),
+		base: make([]int8, cfg.BaseEntries),
+	}
+	// Geometric history lengths from MinHist to MaxHist.
+	ratio := 1.0
+	if cfg.NumComps > 1 {
+		ratio = pow(float64(cfg.MaxHist)/float64(cfg.MinHist), 1/float64(cfg.NumComps-1))
+	}
+	idxBits := util.Log2(cfg.CompEntries)
+	h := float64(cfg.MinHist)
+	for i := 0; i < cfg.NumComps; i++ {
+		hl := int(h + 0.5)
+		if hl > MaxHistoryBits {
+			hl = MaxHistoryBits
+		}
+		t.comps = append(t.comps, tageComp{
+			entries: make([]tageEntry, cfg.CompEntries),
+			histLen: hl,
+			tagBits: cfg.TagBits + i/2,
+			idxBits: idxBits,
+		})
+		h *= ratio
+	}
+	return t
+}
+
+func pow(x, y float64) float64 {
+	// Small private pow via exp/log would drag in math; iterate instead.
+	// y is 1/(n-1) with small n, so use Newton on r^(n-1)=x.
+	// For clarity just use repeated refinement:
+	r := 1.5
+	n := int(1/y + 0.5)
+	for iter := 0; iter < 60; iter++ {
+		// f(r) = r^n - x
+		rn := 1.0
+		for i := 0; i < n; i++ {
+			rn *= r
+		}
+		d := float64(n) * rn / r
+		r -= (rn - x) / d
+	}
+	return r
+}
+
+func (c *tageComp) index(pc uint64, h *History) int {
+	folded := h.Fold(c.histLen, c.idxBits)
+	pathFold := util.FoldBits(h.Path(), 16, c.idxBits)
+	x := util.Mix64(pc>>1) ^ folded ^ pathFold<<1
+	return int(x & uint64(len(c.entries)-1))
+}
+
+func (c *tageComp) tag(pc uint64, h *History) uint16 {
+	folded := h.Fold(c.histLen, c.tagBits)
+	folded2 := h.Fold(c.histLen, c.tagBits-1)
+	x := util.Mix64(pc>>1) ^ folded ^ folded2<<1
+	return uint16(x & ((uint64(1) << c.tagBits) - 1))
+}
+
+// Prediction captures a TAGE lookup so the same provider/alternate state is
+// available at update time.
+type Prediction struct {
+	Taken    bool
+	provider int // component index, -1 = bimodal
+	altTaken bool
+	provIdx  int
+	provNew  bool // provider entry looked newly allocated (weak & not useful)
+	baseIdx  int
+	indices  [16]int
+	tags     [16]uint16
+}
+
+// Predict returns the direction prediction for pc under history h.
+func (t *TAGE) Predict(pc uint64, h *History) Prediction {
+	t.Lookups++
+	var p Prediction
+	p.provider = -1
+	p.baseIdx = int(util.Mix64(pc>>1) & uint64(len(t.base)-1))
+	baseTaken := t.base[p.baseIdx] >= 2
+	p.Taken = baseTaken
+	p.altTaken = baseTaken
+
+	for i := range t.comps {
+		c := &t.comps[i]
+		p.indices[i] = c.index(pc, h)
+		p.tags[i] = c.tag(pc, h)
+	}
+	// Longest matching component provides; next longest is the alternate.
+	alt := -1
+	for i := len(t.comps) - 1; i >= 0; i-- {
+		c := &t.comps[i]
+		e := &c.entries[p.indices[i]]
+		if e.tag == p.tags[i] {
+			if p.provider == -1 {
+				p.provider = i
+				p.provIdx = p.indices[i]
+			} else {
+				alt = i
+				break
+			}
+		}
+	}
+	if p.provider >= 0 {
+		e := &t.comps[p.provider].entries[p.provIdx]
+		provTaken := e.ctr >= 0
+		if alt >= 0 {
+			ae := &t.comps[alt].entries[p.indices[alt]]
+			p.altTaken = ae.ctr >= 0
+		}
+		p.provNew = (e.ctr == 0 || e.ctr == -1) && e.useful == 0
+		if p.provNew && t.useAltOnNA >= 0 {
+			p.Taken = p.altTaken
+		} else {
+			p.Taken = provTaken
+		}
+	}
+	return p
+}
+
+// Update trains the predictor with the architectural outcome. It must be
+// called with the same history the prediction used.
+func (t *TAGE) Update(pc uint64, h *History, p Prediction, taken bool) {
+	if p.Taken != taken {
+		t.Mispredicts++
+	}
+	// useAltOnNA bookkeeping.
+	if p.provider >= 0 && p.provNew {
+		e := &t.comps[p.provider].entries[p.provIdx]
+		provTaken := e.ctr >= 0
+		if provTaken != p.altTaken {
+			if p.altTaken == taken {
+				if t.useAltOnNA < 7 {
+					t.useAltOnNA++
+				}
+			} else if t.useAltOnNA > -8 {
+				t.useAltOnNA--
+			}
+		}
+	}
+
+	// Update provider (or bimodal).
+	if p.provider >= 0 {
+		c := &t.comps[p.provider]
+		e := &c.entries[p.provIdx]
+		max := int8(1)<<(t.cfg.CtrBits-1) - 1
+		min := -(int8(1) << (t.cfg.CtrBits - 1))
+		if taken && e.ctr < max {
+			e.ctr++
+		} else if !taken && e.ctr > min {
+			e.ctr--
+		}
+		provTaken := e.ctr >= 0
+		if provTaken == taken && p.altTaken != taken && e.useful < 3 {
+			e.useful++
+		} else if provTaken != taken && p.altTaken == taken && e.useful > 0 {
+			e.useful--
+		}
+	} else {
+		b := &t.base[p.baseIdx]
+		if taken && *b < 3 {
+			*b++
+		} else if !taken && *b > 0 {
+			*b--
+		}
+	}
+
+	// Allocate on misprediction in a longer component.
+	if p.Taken != taken && p.provider < len(t.comps)-1 {
+		t.allocate(p, taken)
+	}
+
+	// Periodic graceful usefulness reset.
+	t.tick++
+	if t.tick >= t.cfg.UsefulResetAt {
+		t.tick = 0
+		for i := range t.comps {
+			for j := range t.comps[i].entries {
+				t.comps[i].entries[j].useful >>= 1
+			}
+		}
+	}
+}
+
+func (t *TAGE) allocate(p Prediction, taken bool) {
+	start := p.provider + 1
+	// Count allocation candidates (useful == 0).
+	free := 0
+	for i := start; i < len(t.comps); i++ {
+		if t.comps[i].entries[p.indices[i]].useful == 0 {
+			free++
+		}
+	}
+	if free == 0 {
+		for i := start; i < len(t.comps); i++ {
+			e := &t.comps[i].entries[p.indices[i]]
+			if e.useful > 0 {
+				e.useful--
+			}
+		}
+		return
+	}
+	// Pick a random free candidate, biased toward shorter histories.
+	pick := t.rng.Intn(free)
+	if free > 1 && t.rng.Bool(0.5) {
+		pick = 0
+	}
+	for i := start; i < len(t.comps); i++ {
+		e := &t.comps[i].entries[p.indices[i]]
+		if e.useful != 0 {
+			continue
+		}
+		if pick == 0 {
+			e.tag = p.tags[i]
+			if taken {
+				e.ctr = 0
+			} else {
+				e.ctr = -1
+			}
+			e.useful = 0
+			return
+		}
+		pick--
+	}
+}
+
+// StorageBits returns the predictor's storage budget in bits.
+func (t *TAGE) StorageBits() int {
+	bits := len(t.base) * 2
+	for i := range t.comps {
+		c := &t.comps[i]
+		bits += len(c.entries) * (t.cfg.CtrBits + c.tagBits + 2)
+	}
+	return bits
+}
+
+// MispredictRate returns mispredictions per lookup.
+func (t *TAGE) MispredictRate() float64 {
+	if t.Lookups == 0 {
+		return 0
+	}
+	return float64(t.Mispredicts) / float64(t.Lookups)
+}

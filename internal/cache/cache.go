@@ -1,0 +1,280 @@
+// Package cache implements the memory hierarchy substrate of Table I:
+// 32KB 8-way L1I (1 cycle), 32KB 8-way L1D (4 cycles), a unified 16-way 1MB
+// L2 (12 cycles) with a degree-8 stride prefetcher, and a DDR3-1600-like
+// main memory model (75-cycle minimum, 185-cycle maximum load-to-use
+// latency) with per-level MSHR-bounded miss handling. All caches use 64B
+// lines and LRU replacement.
+//
+// The model is latency-oriented: a lookup returns the cycle at which the
+// data is available, tracking in-flight misses so that two accesses to the
+// same missing line merge into one MSHR, and bounding outstanding misses.
+package cache
+
+import "bebop/internal/util"
+
+// LineSize is the cache line size in bytes for every level.
+const LineSize = 64
+
+// lineShift is log2(LineSize).
+const lineShift = 6
+
+// Config sizes one cache level.
+type Config struct {
+	SizeBytes int
+	Ways      int
+	Latency   int // hit latency in cycles
+	MSHRs     int // max outstanding misses
+}
+
+// Cache is one level of set-associative cache with LRU replacement and
+// MSHR-style miss tracking.
+type Cache struct {
+	name    string
+	cfg     Config
+	sets    int
+	tags    []uint64
+	valid   []bool
+	lastUse []uint64
+	clock   uint64
+
+	// mshrs maps in-flight missing line address -> fill completion cycle.
+	mshrs map[uint64]int64
+
+	// next lower level; nil means backed by main memory (via Hierarchy).
+	Accesses, Misses, PrefetchFills uint64
+}
+
+// NewCache builds a cache level.
+func NewCache(name string, cfg Config) *Cache {
+	lines := cfg.SizeBytes / LineSize
+	sets := lines / cfg.Ways
+	if !util.IsPowerOfTwo(sets) {
+		panic("cache: set count must be a power of two: " + name)
+	}
+	return &Cache{
+		name:    name,
+		cfg:     cfg,
+		sets:    sets,
+		tags:    make([]uint64, lines),
+		valid:   make([]bool, lines),
+		lastUse: make([]uint64, lines),
+		mshrs:   make(map[uint64]int64),
+	}
+}
+
+func (c *Cache) set(line uint64) int {
+	return int(line & uint64(c.sets-1))
+}
+
+// probe looks for a line without modifying replacement state.
+func (c *Cache) probe(line uint64) (way int, hit bool) {
+	base := c.set(line) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			return base + w, true
+		}
+	}
+	return -1, false
+}
+
+// touch updates LRU state for a hit way.
+func (c *Cache) touch(way int) {
+	c.clock++
+	c.lastUse[way] = c.clock
+}
+
+// fill installs a line, evicting LRU.
+func (c *Cache) fill(line uint64) {
+	if _, hit := c.probe(line); hit {
+		return
+	}
+	base := c.set(line) * c.cfg.Ways
+	victim := base
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.valid[base+w] {
+			victim = base + w
+			break
+		}
+		if c.lastUse[base+w] < c.lastUse[victim] {
+			victim = base + w
+		}
+	}
+	c.clock++
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.lastUse[victim] = c.clock
+}
+
+// reapMSHRs drops completed miss records.
+func (c *Cache) reapMSHRs(now int64) {
+	for line, done := range c.mshrs {
+		if done <= now {
+			delete(c.mshrs, line)
+		}
+	}
+}
+
+// Hierarchy bundles L1I, L1D, unified L2 and the memory model.
+type Hierarchy struct {
+	L1I, L1D, L2 *Cache
+	Mem          *Memory
+	Prefetch     *StridePrefetcher
+}
+
+// HierarchyConfig collects per-level configs.
+type HierarchyConfig struct {
+	L1I, L1D, L2   Config
+	Mem            MemConfig
+	PrefetchDegree int
+}
+
+// DefaultHierarchyConfig reproduces Table I.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:            Config{SizeBytes: 32 << 10, Ways: 8, Latency: 1, MSHRs: 64},
+		L1D:            Config{SizeBytes: 32 << 10, Ways: 8, Latency: 4, MSHRs: 64},
+		L2:             Config{SizeBytes: 1 << 20, Ways: 16, Latency: 12, MSHRs: 64},
+		Mem:            DefaultMemConfig(),
+		PrefetchDegree: 8,
+	}
+}
+
+// NewHierarchy builds the full memory system.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h := &Hierarchy{
+		L1I: NewCache("L1I", cfg.L1I),
+		L1D: NewCache("L1D", cfg.L1D),
+		L2:  NewCache("L2", cfg.L2),
+		Mem: NewMemory(cfg.Mem),
+	}
+	h.Prefetch = NewStridePrefetcher(cfg.PrefetchDegree)
+	return h
+}
+
+// accessThrough performs an access at level c backed by lower, returning
+// the cycle at which data is available. now is the access cycle.
+func (h *Hierarchy) accessThrough(c *Cache, line uint64, now int64, lower func(int64) int64) int64 {
+	c.Accesses++
+	c.reapMSHRs(now)
+	if way, hit := c.probe(line); hit {
+		c.touch(way)
+		return now + int64(c.cfg.Latency)
+	}
+	c.Misses++
+	// Merge into an in-flight MSHR if present.
+	if done, ok := c.mshrs[line]; ok {
+		return done
+	}
+	// MSHR exhaustion: the access waits until the earliest outstanding
+	// miss completes and frees an MSHR.
+	start := now
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		first := int64(-1)
+		for _, d := range c.mshrs {
+			if first < 0 || d < first {
+				first = d
+			}
+		}
+		if first > start {
+			start = first
+		}
+	}
+	fillDone := lower(start + int64(c.cfg.Latency))
+	c.mshrs[line] = fillDone
+	c.fill(line)
+	return fillDone
+}
+
+// ReadData performs a data read at address addr starting at cycle now and
+// returns the data-available cycle. pc is the load's PC, used to train the
+// L2 stride prefetcher.
+func (h *Hierarchy) ReadData(pc, addr uint64, now int64) int64 {
+	line := addr >> lineShift
+	return h.accessThrough(h.L1D, line, now, func(t int64) int64 {
+		return h.accessL2(pc, line, t)
+	})
+}
+
+// WriteData performs a data write (write-allocate, write-back modelled as
+// latency-free for retirement purposes beyond the lookup itself).
+func (h *Hierarchy) WriteData(pc, addr uint64, now int64) int64 {
+	return h.ReadData(pc, addr, now)
+}
+
+// ReadInst performs an instruction fetch for the block containing addr.
+func (h *Hierarchy) ReadInst(addr uint64, now int64) int64 {
+	line := addr >> lineShift
+	return h.accessThrough(h.L1I, line, now, func(t int64) int64 {
+		return h.accessL2(addr, line, t)
+	})
+}
+
+func (h *Hierarchy) accessL2(pc, line uint64, now int64) int64 {
+	done := h.accessThrough(h.L2, line, now, func(t int64) int64 {
+		return h.Mem.Access(line, t)
+	})
+	// Train the stride prefetcher on the demand stream and install
+	// prefetches into L2 (degree 8, Table I).
+	if h.Prefetch != nil {
+		for _, pline := range h.Prefetch.Observe(pc, line) {
+			if _, hit := h.L2.probe(pline); !hit {
+				h.L2.fill(pline)
+				h.L2.PrefetchFills++
+			}
+		}
+	}
+	return done
+}
+
+// StridePrefetcher is a PC-indexed stride prefetcher (degree N) attached to
+// the L2 demand stream.
+type StridePrefetcher struct {
+	degree  int
+	entries [256]struct {
+		pc       uint64
+		lastLine uint64
+		stride   int64
+		conf     int8
+	}
+}
+
+// NewStridePrefetcher builds a prefetcher with the given degree.
+func NewStridePrefetcher(degree int) *StridePrefetcher {
+	return &StridePrefetcher{degree: degree}
+}
+
+// Observe trains on a demand access and returns the lines to prefetch.
+func (p *StridePrefetcher) Observe(pc, line uint64) []uint64 {
+	e := &p.entries[util.Mix64(pc)&0xFF]
+	if e.pc != pc {
+		e.pc, e.lastLine, e.stride, e.conf = pc, line, 0, 0
+		return nil
+	}
+	stride := int64(line) - int64(e.lastLine)
+	e.lastLine = line
+	if stride == 0 {
+		return nil
+	}
+	if stride == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 0
+		return nil
+	}
+	if e.conf < 2 {
+		return nil
+	}
+	out := make([]uint64, 0, p.degree)
+	next := int64(line)
+	for i := 0; i < p.degree; i++ {
+		next += stride
+		if next < 0 {
+			break
+		}
+		out = append(out, uint64(next))
+	}
+	return out
+}

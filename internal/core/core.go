@@ -1,0 +1,196 @@
+// Package core is the top-level API of the BeBoP reproduction: it wires
+// workloads, predictors and pipeline configurations into the named models
+// of the paper and runs them.
+//
+// The three pipeline models (Section V):
+//
+//   - Baseline_6_60:    6-issue, 60-entry IQ, no value prediction
+//   - Baseline_VP_6_60: Baseline_6_60 + a value predictor with an
+//     idealistic per-instruction infrastructure
+//   - EOLE_4_60:        4-issue EOLE pipeline + value prediction
+//
+// and the predictor configurations of Table III (Small_4p, Small_6p,
+// Medium, Large) plus the exploration configurations of Fig. 6.
+package core
+
+import (
+	"fmt"
+
+	"bebop/internal/bebop"
+	"bebop/internal/pipeline"
+	"bebop/internal/predictor"
+	"bebop/internal/specwindow"
+	"bebop/internal/workload"
+)
+
+// ConfigFactory builds a fresh pipeline configuration. Predictors are
+// stateful, so every simulation run needs its own instance.
+type ConfigFactory func() pipeline.Config
+
+// Run simulates one workload profile under the given configuration and
+// returns the result. The first insts/2 instructions warm all structures
+// (caches, branch predictor, value predictor) and the remaining insts are
+// measured, mirroring the paper's Simpoint methodology (Section V-C:
+// "warm up all structures for 50M instructions, then collect statistics
+// for 100M instructions").
+func Run(prof workload.Profile, insts int64, mk ConfigFactory) pipeline.Result {
+	warmup := insts / 2
+	return RunWarm(prof, warmup, insts, mk)
+}
+
+// RunWarm simulates warmup+insts instructions, reporting statistics only
+// for the final insts.
+func RunWarm(prof workload.Profile, warmup, insts int64, mk ConfigFactory) pipeline.Result {
+	gen := workload.New(prof, warmup+insts)
+	proc := pipeline.New(mk(), gen)
+	return proc.RunWarm(warmup, 0)
+}
+
+// RunByName is Run for a named Table II workload.
+func RunByName(bench string, insts int64, mk ConfigFactory) (pipeline.Result, error) {
+	prof, ok := workload.ProfileByName(bench)
+	if !ok {
+		return pipeline.Result{}, fmt.Errorf("core: unknown benchmark %q", bench)
+	}
+	return Run(prof, insts, mk), nil
+}
+
+// Baseline returns the Baseline_6_60 factory.
+func Baseline() ConfigFactory {
+	return func() pipeline.Config { return pipeline.DefaultConfig() }
+}
+
+// InstPredictorNames lists the per-instruction predictors of Fig. 5(a).
+func InstPredictorNames() []string {
+	return []string{"2d-Stride", "VTAGE", "VTAGE-2d-Stride", "D-VTAGE"}
+}
+
+// NewInstPredictor builds a fresh per-instruction predictor by name, sized
+// as in Section V-B (8K-entry base structures).
+func NewInstPredictor(name string) (predictor.Predictor, error) {
+	switch name {
+	case "2d-Stride":
+		return predictor.NewTwoDeltaStride(8192, 0x2D57), nil
+	case "VTAGE":
+		return predictor.NewVTAGE(predictor.DefaultVTAGEConfig()), nil
+	case "VTAGE-2d-Stride":
+		return predictor.NewVTAGE2dStride(predictor.DefaultVTAGEConfig(), 8192), nil
+	case "D-VTAGE":
+		return predictor.NewDVTAGEInst(predictor.DefaultDVTAGEConfig()), nil
+	case "LVP":
+		return predictor.NewLastValue(8192, 0x11F), nil
+	case "Stride":
+		return predictor.NewStride(8192, 0x57), nil
+	case "FCM":
+		// Order-4 FCM sized like the VTAGE of Section VII-A.
+		return predictor.NewFCM(4, 8192, 16384, 0xFC1), nil
+	case "D-FCM":
+		return predictor.NewDFCM(4, 8192, 16384, 0xDFC1), nil
+	}
+	return nil, fmt.Errorf("core: unknown predictor %q", name)
+}
+
+// BaselineVP returns the Baseline_VP_6_60 factory with the named
+// per-instruction predictor (Section VI-A).
+func BaselineVP(pred string) ConfigFactory {
+	return func() pipeline.Config {
+		p, err := NewInstPredictor(pred)
+		if err != nil {
+			panic(err)
+		}
+		cfg := pipeline.DefaultConfig().WithVP(pipeline.NewInstVP(p))
+		cfg.Name = "Baseline_VP_6_60/" + pred
+		return cfg
+	}
+}
+
+// EOLEInstVP returns the EOLE_4_60 factory with a per-instruction D-VTAGE
+// (the idealistic infrastructure of Fig. 5(b)).
+func EOLEInstVP() ConfigFactory {
+	return func() pipeline.Config {
+		p, err := NewInstPredictor("D-VTAGE")
+		if err != nil {
+			panic(err)
+		}
+		cfg := pipeline.DefaultConfig().WithVP(pipeline.NewInstVP(p)).WithEOLE(4)
+		cfg.Name = "EOLE_4_60"
+		return cfg
+	}
+}
+
+// BlockConfig assembles a BeBoP D-VTAGE configuration: npred predictions
+// per entry, baseEntries base component entries, six tagged components of
+// taggedEntries each, the given stride width in bits, a speculative window
+// of winSize entries (-1 = unbounded, 0 = none) and a recovery policy.
+func BlockConfig(npred, baseEntries, taggedEntries, strideBits, winSize int, policy specwindow.Policy) bebop.Config {
+	return bebop.Config{
+		Predictor: predictor.DVTAGEConfig{
+			NPred:         npred,
+			BaseEntries:   baseEntries,
+			LVTTagBits:    5,
+			TaggedEntries: taggedEntries,
+			NumComps:      6,
+			HistLens:      []int{2, 4, 8, 16, 32, 64},
+			TagBitsLo:     13,
+			StrideBits:    strideBits,
+			FPCProbs:      predictor.DefaultFPCProbs(),
+			Seed:          0xBEB0,
+		},
+		WindowSize:    winSize,
+		WindowTagBits: 15,
+		Policy:        policy,
+	}
+}
+
+// Table III configurations (all use the realistic DnRDnR policy).
+
+// SmallConfig4p is Small_4p: 4 predictions/entry, 256-entry base, 6×128
+// tagged, 32-entry window, 8-bit strides (~17.26KB in the paper).
+func SmallConfig4p() bebop.Config {
+	return BlockConfig(4, 256, 128, 8, 32, specwindow.PolicyDnRDnR)
+}
+
+// SmallConfig6p is Small_6p: 6 predictions/entry, 128-entry base, 6×128
+// tagged, 32-entry window, 8-bit strides (~17.18KB).
+func SmallConfig6p() bebop.Config {
+	return BlockConfig(6, 128, 128, 8, 32, specwindow.PolicyDnRDnR)
+}
+
+// MediumConfig is Medium: 6 predictions/entry, 256-entry base, 6×256
+// tagged, 32-entry window, 8-bit strides (~32.76KB).
+func MediumConfig() bebop.Config {
+	return BlockConfig(6, 256, 256, 8, 32, specwindow.PolicyDnRDnR)
+}
+
+// LargeConfig is Large: 6 predictions/entry, 512-entry base, 6×256
+// tagged, 56-entry window, 16-bit strides (~61.65KB).
+func LargeConfig() bebop.Config {
+	return BlockConfig(6, 512, 256, 16, 56, specwindow.PolicyDnRDnR)
+}
+
+// EOLEBeBoP returns the EOLE_4_60 factory with a BeBoP block-based
+// D-VTAGE infrastructure.
+func EOLEBeBoP(name string, bb bebop.Config) ConfigFactory {
+	return func() pipeline.Config {
+		cfg := pipeline.DefaultConfig().WithVP(bebop.New(bb)).WithEOLE(4)
+		cfg.Name = "EOLE_4_60/" + name
+		return cfg
+	}
+}
+
+// TableIIIConfigs returns the named final configurations of Table III in
+// paper order.
+func TableIIIConfigs() []struct {
+	Name string
+	Cfg  bebop.Config
+} {
+	return []struct {
+		Name string
+		Cfg  bebop.Config
+	}{
+		{"Small_4p", SmallConfig4p()},
+		{"Small_6p", SmallConfig6p()},
+		{"Medium", MediumConfig()},
+		{"Large", LargeConfig()},
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"bebop/internal/util"
+	"bebop/internal/workload"
+)
+
+func TestTable3StorageBudgets(t *testing.T) {
+	// The paper's Table III storage budgets, reproduced from first
+	// principles. Our accounting must land within 5% of the published
+	// figures (field-level layout details differ slightly).
+	paper := map[string]float64{
+		"Small_4p": 17.26,
+		"Small_6p": 17.18,
+		"Medium":   32.76,
+		"Large":    61.65,
+	}
+	for _, c := range TableIIIConfigs() {
+		pc := c.Cfg.Predictor
+		pc.SpecWinEntries = c.Cfg.WindowSize
+		pc.SpecWinTagBits = c.Cfg.WindowTagBits
+		kb := util.BitsToKB(pc.StorageBits())
+		want := paper[c.Name]
+		if math.Abs(kb-want)/want > 0.05 {
+			t.Errorf("%s: %0.2fKB, paper %0.2fKB (%.1f%% off)",
+				c.Name, kb, want, 100*math.Abs(kb-want)/want)
+		}
+	}
+}
+
+func TestTable3Shapes(t *testing.T) {
+	// Structural parameters straight from Table III.
+	cases := []struct {
+		name            string
+		npred, base     int
+		win, strideBits int
+	}{
+		{"Small_4p", 4, 256, 32, 8},
+		{"Small_6p", 6, 128, 32, 8},
+		{"Medium", 6, 256, 32, 8},
+		{"Large", 6, 512, 56, 16},
+	}
+	cfgs := TableIIIConfigs()
+	for i, want := range cases {
+		got := cfgs[i]
+		if got.Name != want.name {
+			t.Fatalf("config %d: name %s, want %s", i, got.Name, want.name)
+		}
+		pc := got.Cfg.Predictor
+		if pc.NPred != want.npred || pc.BaseEntries != want.base ||
+			got.Cfg.WindowSize != want.win || pc.StrideBits != want.strideBits {
+			t.Fatalf("%s: got %d/%d/%d/%d", want.name, pc.NPred, pc.BaseEntries,
+				got.Cfg.WindowSize, pc.StrideBits)
+		}
+	}
+}
+
+func TestNewInstPredictorNames(t *testing.T) {
+	for _, name := range InstPredictorNames() {
+		p, err := NewInstPredictor(name)
+		if err != nil {
+			t.Fatalf("predictor %s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("predictor name mismatch: %s vs %s", p.Name(), name)
+		}
+		if p.StorageBits() <= 0 {
+			t.Fatalf("%s reports no storage", name)
+		}
+	}
+	if _, err := NewInstPredictor("bogus"); err == nil {
+		t.Fatal("bogus predictor accepted")
+	}
+}
+
+func TestConfigPresetNames(t *testing.T) {
+	if Baseline()().Name != "Baseline_6_60" {
+		t.Fatal("baseline preset name wrong")
+	}
+	if got := BaselineVP("D-VTAGE")().Name; got != "Baseline_VP_6_60/D-VTAGE" {
+		t.Fatalf("baseline-VP preset name: %s", got)
+	}
+	if got := EOLEInstVP()().Name; got != "EOLE_4_60" {
+		t.Fatalf("EOLE preset name: %s", got)
+	}
+}
+
+func TestEOLEPresetParameters(t *testing.T) {
+	cfg := EOLEInstVP()()
+	if !cfg.EOLE || cfg.IssueWidth != 4 || cfg.VP == nil {
+		t.Fatalf("EOLE_4_60 misconfigured: eole=%v width=%d", cfg.EOLE, cfg.IssueWidth)
+	}
+	base := Baseline()()
+	if base.EOLE || base.VP != nil || base.IssueWidth != 6 {
+		t.Fatal("baseline misconfigured")
+	}
+}
+
+func TestRunByName(t *testing.T) {
+	r, err := RunByName("gzip", 5000, Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Insts == 0 || r.Cycles == 0 {
+		t.Fatalf("empty result: %+v", r)
+	}
+	if _, err := RunByName("bogus", 5000, Baseline()); err == nil {
+		t.Fatal("bogus benchmark accepted")
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	prof, _ := workload.ProfileByName("vpr")
+	a := Run(prof, 10000, Baseline())
+	b := Run(prof, 10000, Baseline())
+	if a.Cycles != b.Cycles {
+		t.Fatalf("non-deterministic: %d vs %d", a.Cycles, b.Cycles)
+	}
+}
+
+func TestVPSpeedsUpPredictableWorkload(t *testing.T) {
+	prof, _ := workload.ProfileByName("swim")
+	base := Run(prof, 40000, Baseline())
+	vp := Run(prof, 40000, BaselineVP("D-VTAGE"))
+	if vp.Cycles >= base.Cycles {
+		t.Fatalf("VP gave no speedup on swim: %d vs %d", vp.Cycles, base.Cycles)
+	}
+}
+
+func TestVPAccuracyAboveDesignPoint(t *testing.T) {
+	// FPC must keep used-prediction accuracy >= 99.5% (Section III-A).
+	for _, bench := range []string{"swim", "gcc", "mcf"} {
+		prof, _ := workload.ProfileByName(bench)
+		r := Run(prof, 40000, BaselineVP("D-VTAGE"))
+		if r.VP.Used > 100 && r.VP.Accuracy() < 0.995 {
+			t.Errorf("%s: VP accuracy %.4f below 99.5%%", bench, r.VP.Accuracy())
+		}
+	}
+}
+
+func TestBlockConfigStorageMonotone(t *testing.T) {
+	small := BlockConfig(6, 128, 128, 8, 32, 0).Predictor
+	big := BlockConfig(6, 512, 256, 16, 32, 0).Predictor
+	small.SpecWinEntries, big.SpecWinEntries = 32, 32
+	small.SpecWinTagBits, big.SpecWinTagBits = 15, 15
+	if small.StorageBits() >= big.StorageBits() {
+		t.Fatal("bigger configuration must cost more storage")
+	}
+}
+
+func TestEOLEBeBoPRuns(t *testing.T) {
+	prof, _ := workload.ProfileByName("gzip")
+	r := Run(prof, 20000, EOLEBeBoP("Medium", MediumConfig()))
+	if r.Insts == 0 {
+		t.Fatal("BeBoP run committed nothing")
+	}
+	if r.StorageBits == 0 {
+		t.Fatal("BeBoP run reports no predictor storage")
+	}
+}

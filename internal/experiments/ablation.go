@@ -1,0 +1,21 @@
+package experiments
+
+import "bebop/internal/core"
+
+// Ablations compares the paper's predictor lineage against the FCM family
+// it displaced (Section VII): VTAGE vs an order-4 FCM of similar size, and
+// D-VTAGE vs D-FCM. The paper's claim — context through *global branch
+// history* (VTAGE) performs at least as well as context through *local
+// value history* (FCM) without the two-level prediction critical path —
+// should hold as a gmean ordering. All runs are Baseline_VP_6_60 over
+// Baseline_6_60.
+func (r *Runner) Ablations() []Series {
+	base := r.baseline()
+	var out []Series
+	for _, name := range []string{"LVP", "Stride", "FCM", "VTAGE", "D-FCM", "D-VTAGE"} {
+		key := "Baseline_VP_6_60/" + name
+		cfgRes := r.Results(key, core.BaselineVP(name))
+		out = append(out, r.speedups(name, base, cfgRes))
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bebop/internal/core"
+)
+
+// fastOpts keeps experiment tests quick: a 4-benchmark subset spanning
+// stride-heavy FP, branchy INT and memory-bound behaviour.
+func fastOpts() Options {
+	return Options{
+		Insts:     30_000,
+		Workloads: []string{"swim", "gcc", "mcf", "bzip2"},
+	}
+}
+
+func TestTable2Rows(t *testing.T) {
+	r := NewRunner(fastOpts())
+	rows := r.Table2()
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.IPC <= 0 || row.PaperIPC <= 0 {
+			t.Fatalf("bad row %+v", row)
+		}
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	r := NewRunner(fastOpts())
+	series := r.Fig5a()
+	if len(series) != 4 {
+		t.Fatalf("Fig 5a needs 4 predictors, got %d", len(series))
+	}
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+		for i, sp := range s.Speedup {
+			if sp < 0.90 {
+				t.Errorf("%s slows down %s to %.3f; VP must not lose >10%%", s.Name, s.Bench[i], sp)
+			}
+		}
+	}
+	// D-VTAGE must at least match plain VTAGE on average (it adds stride
+	// coverage at the same budget).
+	if byName["D-VTAGE"].Summary.GMean < byName["VTAGE"].Summary.GMean-0.01 {
+		t.Errorf("D-VTAGE gmean %.3f below VTAGE %.3f",
+			byName["D-VTAGE"].Summary.GMean, byName["VTAGE"].Summary.GMean)
+	}
+}
+
+func TestFig5bEOLECheap(t *testing.T) {
+	r := NewRunner(fastOpts())
+	s := r.Fig5b()
+	// Scaling issue width 6->4 under EOLE should cost little.
+	if s.Summary.GMean < 0.93 {
+		t.Errorf("EOLE_4_60 gmean %.3f vs Baseline_VP_6_60; should be near 1", s.Summary.GMean)
+	}
+}
+
+func TestFig7bWindowShape(t *testing.T) {
+	r := NewRunner(Options{Insts: 40_000, Workloads: []string{"bzip2", "wupwise"}})
+	series := r.Fig7b()
+	if len(series) != 7 {
+		t.Fatalf("Fig 7b needs 7 sizes, got %d", len(series))
+	}
+	inf := series[0].Summary.GMean
+	none := series[6].Summary.GMean
+	w32 := series[4].Summary.GMean
+	// No window must be the worst configuration on these loop-heavy
+	// workloads; 32 entries must recover most of the unbounded window.
+	if none >= w32 {
+		t.Errorf("None (%.3f) not worse than 32-entry (%.3f)", none, w32)
+	}
+	if inf-w32 > 0.05 {
+		t.Errorf("32-entry window (%.3f) too far from unbounded (%.3f)", w32, inf)
+	}
+}
+
+func TestTable3StaticRows(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.KB <= 0 || row.PaperKB <= 0 {
+			t.Fatalf("bad row %+v", row)
+		}
+	}
+	// Ordering: Small < Medium < Large.
+	if !(rows[1].KB < rows[2].KB && rows[2].KB < rows[3].KB) {
+		t.Fatalf("storage not monotone: %+v", rows)
+	}
+}
+
+func TestResultsCached(t *testing.T) {
+	r := NewRunner(Options{Insts: 10_000, Workloads: []string{"gzip"}})
+	a := r.Results("Baseline_6_60", core.Baseline())
+	// A second request with a nil factory must hit the cache (a miss
+	// would panic dereferencing the factory).
+	b := r.Results("Baseline_6_60", nil)
+	if a["gzip"].Cycles != b["gzip"].Cycles {
+		t.Fatal("cache returned different results")
+	}
+}
+
+func TestRenderAll(t *testing.T) {
+	r := NewRunner(Options{Insts: 10_000, Workloads: []string{"gzip", "swim"}})
+	for _, id := range []string{"table2", "table3"} {
+		var buf bytes.Buffer
+		if err := r.RunAndRender(&buf, id); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s rendered nothing", id)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.RunAndRender(&buf, "bogus"); err == nil {
+		t.Fatal("bogus experiment id accepted")
+	}
+}
+
+func TestExperimentIDsComplete(t *testing.T) {
+	ids := strings.Join(ExperimentIDs(), ",")
+	for _, want := range []string{"table2", "fig5a", "fig5b", "fig6a", "fig6b", "partial", "fig7a", "fig7b", "table3", "fig8"} {
+		if !strings.Contains(ids, want) {
+			t.Fatalf("experiment %s missing from %s", want, ids)
+		}
+	}
+}
+
+func TestMinMaxOf(t *testing.T) {
+	s := Series{Bench: []string{"a", "b"}, Speedup: []float64{1.2, 0.9}}
+	if b, v := MinOf(s); b != "b" || v != 0.9 {
+		t.Fatalf("MinOf: %s %v", b, v)
+	}
+	if b, v := MaxOf(s); b != "a" || v != 1.2 {
+		t.Fatalf("MaxOf: %s %v", b, v)
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	r := NewRunner(Options{Insts: 30_000, Workloads: []string{"swim", "xalancbmk", "gcc"}})
+	series := r.Ablations()
+	if len(series) != 6 {
+		t.Fatalf("%d ablation series", len(series))
+	}
+	g := map[string]float64{}
+	for _, s := range series {
+		g[s.Name] = s.Summary.GMean
+	}
+	// The differential predictors must not lose to their non-differential
+	// counterparts, and D-VTAGE must be competitive with D-FCM (the paper
+	// prefers it for its critical path, not raw coverage).
+	if g["D-VTAGE"] < g["VTAGE"]-0.01 {
+		t.Errorf("D-VTAGE (%.3f) below VTAGE (%.3f)", g["D-VTAGE"], g["VTAGE"])
+	}
+	if g["D-FCM"] < g["FCM"]-0.01 {
+		t.Errorf("D-FCM (%.3f) below FCM (%.3f)", g["D-FCM"], g["FCM"])
+	}
+}

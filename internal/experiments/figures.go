@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bebop/internal/core"
+	"bebop/internal/pipeline"
+	"bebop/internal/specwindow"
+	"bebop/internal/util"
+	"bebop/internal/workload"
+)
+
+// BenchIPC is one Table II row: measured baseline IPC next to the paper's
+// published IPC.
+type BenchIPC struct {
+	Bench    string
+	Suite    string
+	INT      bool
+	IPC      float64
+	PaperIPC float64
+}
+
+// Table2 reproduces Table II: the baseline IPC of every workload.
+func (r *Runner) Table2() []BenchIPC {
+	base := r.baseline()
+	var out []BenchIPC
+	for _, b := range r.Workloads() {
+		prof, _ := workload.ProfileByName(b)
+		out = append(out, BenchIPC{
+			Bench: b, Suite: prof.Suite, INT: prof.INT,
+			IPC: base[b].IPC, PaperIPC: prof.PaperIPC,
+		})
+	}
+	return out
+}
+
+// Fig5a reproduces Fig. 5(a): speedup of the 2d-Stride, VTAGE,
+// VTAGE-2d-Stride and D-VTAGE per-instruction predictors (idealistic
+// infrastructure) on Baseline_VP_6_60 over Baseline_6_60.
+func (r *Runner) Fig5a() []Series {
+	base := r.baseline()
+	var out []Series
+	for _, name := range core.InstPredictorNames() {
+		var cfgRes map[string]pipeline.Result
+		if name == "D-VTAGE" {
+			cfgRes = r.baselineVPDVTAGE()
+		} else {
+			cfgRes = r.Results("Baseline_VP_6_60/"+name, core.BaselineVP(name))
+		}
+		out = append(out, r.speedups(name, base, cfgRes))
+	}
+	return out
+}
+
+// Fig5b reproduces Fig. 5(b): speedup of the port-constrained EOLE_4_60
+// with D-VTAGE over Baseline_VP_6_60 — the issue-width reduction should be
+// almost free.
+func (r *Runner) Fig5b() Series {
+	return r.speedups("EOLE_4_60 vs Baseline_VP_6_60", r.baselineVPDVTAGE(), r.eole())
+}
+
+// NpredConfig names one Fig. 6 exploration point.
+type NpredConfig struct {
+	Label         string
+	NPred         int
+	BaseEntries   int
+	TaggedEntries int
+}
+
+// Fig6a reproduces Fig. 6(a): the impact of the number of predictions per
+// entry (4/6/8) for the two structure sizes, with an infinite speculative
+// window under the Ideal policy, as speedup summaries over EOLE_4_60.
+func (r *Runner) Fig6a() []Series {
+	cfgs := []NpredConfig{
+		{"4p 1K + 6x128", 4, 1024, 128},
+		{"6p 1K + 6x128", 6, 1024, 128},
+		{"8p 1K + 6x128", 8, 1024, 128},
+		{"4p 2K + 6x256", 4, 2048, 256},
+		{"6p 2K + 6x256", 6, 2048, 256},
+		{"8p 2K + 6x256", 8, 2048, 256},
+	}
+	return r.sweepBlock(cfgs, 64, -1, specwindow.PolicyIdeal)
+}
+
+// Fig6b reproduces Fig. 6(b): the impact of the base and tagged component
+// sizes at 6 predictions per entry.
+func (r *Runner) Fig6b() []Series {
+	cfgs := []NpredConfig{
+		{"512 + 6x128", 6, 512, 128},
+		{"1K + 6x128", 6, 1024, 128},
+		{"2K + 6x128", 6, 2048, 128},
+		{"512 + 6x256", 6, 512, 256},
+		{"1K + 6x256", 6, 1024, 256},
+		{"2K + 6x256", 6, 2048, 256},
+	}
+	return r.sweepBlock(cfgs, 64, -1, specwindow.PolicyIdeal)
+}
+
+func (r *Runner) sweepBlock(cfgs []NpredConfig, strideBits, winSize int, pol specwindow.Policy) []Series {
+	eole := r.eole()
+	var out []Series
+	for _, c := range cfgs {
+		key := fmt.Sprintf("BeBoP/%s/s%d/w%d/%s", c.Label, strideBits, winSize, pol)
+		bb := core.BlockConfig(c.NPred, c.BaseEntries, c.TaggedEntries, strideBits, winSize, pol)
+		res := r.Results(key, core.EOLEBeBoP(c.Label, bb))
+		out = append(out, r.speedups(c.Label, eole, res))
+	}
+	return out
+}
+
+// StrideRow is one partial-stride data point (Section VI-B(a)).
+type StrideRow struct {
+	Bits      int
+	Series    Series
+	StorageKB float64
+}
+
+// PartialStrides reproduces the partial stride study: the optimistic
+// 6p/2K+6x256 configuration with 64/32/16/8-bit strides. Performance
+// should be almost flat while storage collapses.
+func (r *Runner) PartialStrides() []StrideRow {
+	eole := r.eole()
+	var out []StrideRow
+	for _, bits := range []int{64, 32, 16, 8} {
+		label := fmt.Sprintf("%d-bit strides", bits)
+		key := fmt.Sprintf("BeBoP/partial/%d", bits)
+		bb := core.BlockConfig(6, 2048, 256, bits, -1, specwindow.PolicyIdeal)
+		res := r.Results(key, core.EOLEBeBoP(label, bb))
+		out = append(out, StrideRow{
+			Bits:      bits,
+			Series:    r.speedups(label, eole, res),
+			StorageKB: util.BitsToKB(bb.Predictor.StorageBits()),
+		})
+	}
+	return out
+}
+
+// Fig7a reproduces Fig. 7(a): the speculative window recovery policies
+// (Ideal, Repred, DnRDnR, DnRR) with an infinite window, as speedup over
+// EOLE_4_60. The realistic policies should be near-equivalent.
+func (r *Runner) Fig7a() []Series {
+	eole := r.eole()
+	var out []Series
+	for _, pol := range []specwindow.Policy{
+		specwindow.PolicyIdeal, specwindow.PolicyRepred,
+		specwindow.PolicyDnRDnR, specwindow.PolicyDnRR,
+	} {
+		key := "BeBoP/policy/" + pol.String()
+		bb := core.BlockConfig(6, 2048, 256, 64, -1, pol)
+		res := r.Results(key, core.EOLEBeBoP(pol.String(), bb))
+		out = append(out, r.speedups(pol.String(), eole, res))
+	}
+	return out
+}
+
+// Fig7b reproduces Fig. 7(b): the speculative window size sweep
+// (∞/64/56/48/32/16/None) under the DnRDnR policy.
+func (r *Runner) Fig7b() []Series {
+	eole := r.eole()
+	sizes := []int{-1, 64, 56, 48, 32, 16, 0}
+	var out []Series
+	for _, sz := range sizes {
+		label := fmt.Sprintf("%d", sz)
+		if sz < 0 {
+			label = "inf"
+		} else if sz == 0 {
+			label = "None"
+		}
+		key := "BeBoP/window/" + label
+		bb := core.BlockConfig(6, 2048, 256, 64, sz, specwindow.PolicyDnRDnR)
+		res := r.Results(key, core.EOLEBeBoP("win-"+label, bb))
+		out = append(out, r.speedups(label, eole, res))
+	}
+	return out
+}
+
+// StorageRow is one Table III row.
+type StorageRow struct {
+	Name      string
+	PaperKB   float64
+	KB        float64
+	NPred     int
+	BaseEnts  int
+	WinSize   int
+	StrideBit int
+}
+
+// Table3 reproduces the Table III storage accounting from first
+// principles, next to the paper's published budgets.
+func Table3() []StorageRow {
+	paper := map[string]float64{
+		"Small_4p": 17.26, "Small_6p": 17.18, "Medium": 32.76, "Large": 61.65,
+	}
+	var out []StorageRow
+	for _, c := range core.TableIIIConfigs() {
+		pc := c.Cfg.Predictor
+		pc.SpecWinEntries = c.Cfg.WindowSize
+		pc.SpecWinTagBits = c.Cfg.WindowTagBits
+		out = append(out, StorageRow{
+			Name:      c.Name,
+			PaperKB:   paper[c.Name],
+			KB:        util.BitsToKB(pc.StorageBits()),
+			NPred:     pc.NPred,
+			BaseEnts:  pc.BaseEntries,
+			WinSize:   c.Cfg.WindowSize,
+			StrideBit: pc.StrideBits,
+		})
+	}
+	return out
+}
+
+// Fig8 reproduces Fig. 8: the final Table III configurations (plus
+// Baseline_VP_6_60 and the idealistic EOLE_4_60) as speedup over
+// Baseline_6_60.
+func (r *Runner) Fig8() []Series {
+	base := r.baseline()
+	out := []Series{
+		r.speedups("Baseline_VP_6_60", base, r.baselineVPDVTAGE()),
+		r.speedups("EOLE_4_60", base, r.eole()),
+	}
+	for _, c := range core.TableIIIConfigs() {
+		key := "BeBoP/final/" + c.Name
+		res := r.Results(key, core.EOLEBeBoP(c.Name, c.Cfg))
+		out = append(out, r.speedups(c.Name, base, res))
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderTable2 prints Table II rows.
+func RenderTable2(w io.Writer, rows []BenchIPC) {
+	fmt.Fprintf(w, "%-12s %-8s %-4s %8s %10s\n", "Benchmark", "Suite", "Type", "IPC", "Paper IPC")
+	for _, r := range rows {
+		typ := "FP"
+		if r.INT {
+			typ = "INT"
+		}
+		fmt.Fprintf(w, "%-12s %-8s %-4s %8.3f %10.3f\n", r.Bench, r.Suite, typ, r.IPC, r.PaperIPC)
+	}
+}
+
+// RenderSeriesTable prints one row per benchmark with one column per
+// series, the layout of Fig. 5 and Fig. 8.
+func RenderSeriesTable(w io.Writer, title string, series []Series) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	if len(series) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-12s", "Benchmark")
+	for _, s := range series {
+		fmt.Fprintf(w, " %*s", colWidth(s.Name), s.Name)
+	}
+	fmt.Fprintln(w)
+	for i, b := range series[0].Bench {
+		fmt.Fprintf(w, "%-12s", b)
+		for _, s := range series {
+			v := 0.0
+			if i < len(s.Speedup) {
+				v = s.Speedup[i]
+			}
+			fmt.Fprintf(w, " %*.3f", colWidth(s.Name), v)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-12s", "gmean")
+	for _, s := range series {
+		fmt.Fprintf(w, " %*.3f", colWidth(s.Name), s.Summary.GMean)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderSummaries prints the box-plot style summary of each series, the
+// layout of Fig. 6 and Fig. 7.
+func RenderSummaries(w io.Writer, title string, series []Series) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "%-16s %8s %8s %8s %8s %8s %8s\n",
+		"Config", "min", "q1", "med", "q3", "max", "gmean")
+	for _, s := range series {
+		fmt.Fprintf(w, "%-16s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+			s.Name, s.Summary.Min, s.Summary.Q1, s.Summary.Median,
+			s.Summary.Q3, s.Summary.Max, s.Summary.GMean)
+	}
+}
+
+// RenderStrides prints the partial stride study.
+func RenderStrides(w io.Writer, rows []StrideRow) {
+	fmt.Fprintf(w, "== Partial strides (Section VI-B(a)) ==\n")
+	fmt.Fprintf(w, "%-10s %10s %10s %10s\n", "Strides", "gmean", "min", "size")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %10.3f %10.3f %9.1fKB\n",
+			fmt.Sprintf("%d-bit", r.Bits), r.Series.Summary.GMean, r.Series.Summary.Min, r.StorageKB)
+	}
+}
+
+// RenderTable3 prints the Table III storage accounting.
+func RenderTable3(w io.Writer, rows []StorageRow) {
+	fmt.Fprintf(w, "== Table III: final predictor configurations ==\n")
+	fmt.Fprintf(w, "%-10s %6s %10s %8s %8s %10s %10s\n",
+		"Predictor", "NPred", "#BaseEnt", "SpecWin", "Strides", "Size", "Paper")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %6d %10d %8d %7db %9.2fKB %9.2fKB\n",
+			r.Name, r.NPred, r.BaseEnts, r.WinSize, r.StrideBit, r.KB, r.PaperKB)
+	}
+}
+
+func colWidth(name string) int {
+	if len(name) < 8 {
+		return 8
+	}
+	return len(name)
+}
+
+// ExperimentIDs lists the sweep identifiers usable with cmd/bebop-sweep.
+func ExperimentIDs() []string {
+	return []string{"table2", "fig5a", "fig5b", "fig6a", "fig6b", "partial", "fig7a", "fig7b", "table3", "fig8", "ablation"}
+}
+
+// RunAndRender executes the named experiment and renders it to w.
+func (r *Runner) RunAndRender(w io.Writer, id string) error {
+	switch strings.ToLower(id) {
+	case "table2":
+		RenderTable2(w, r.Table2())
+	case "fig5a":
+		RenderSeriesTable(w, "Fig. 5(a): predictors over Baseline_6_60", r.Fig5a())
+	case "fig5b":
+		RenderSeriesTable(w, "Fig. 5(b): EOLE_4_60 over Baseline_VP_6_60", []Series{r.Fig5b()})
+	case "fig6a":
+		RenderSummaries(w, "Fig. 6(a): predictions per entry (speedup over EOLE_4_60)", r.Fig6a())
+	case "fig6b":
+		RenderSummaries(w, "Fig. 6(b): structure sizes (speedup over EOLE_4_60)", r.Fig6b())
+	case "partial":
+		RenderStrides(w, r.PartialStrides())
+	case "fig7a":
+		RenderSummaries(w, "Fig. 7(a): recovery policies (speedup over EOLE_4_60)", r.Fig7a())
+	case "fig7b":
+		RenderSummaries(w, "Fig. 7(b): speculative window size (speedup over EOLE_4_60)", r.Fig7b())
+	case "table3":
+		RenderTable3(w, Table3())
+	case "fig8":
+		RenderSeriesTable(w, "Fig. 8: final configurations over Baseline_6_60", r.Fig8())
+	case "ablation":
+		RenderSummaries(w, "Ablation: predictor lineages over Baseline_6_60", r.Ablations())
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section VI): each runner executes the required configuration
+// sweep over the Table II workload suite and returns the same rows/series
+// the paper reports. Speedup baselines are cached and shared across
+// experiments within a Runner.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"bebop/internal/core"
+	"bebop/internal/pipeline"
+	"bebop/internal/util"
+	"bebop/internal/workload"
+)
+
+// Options controls an experiment session.
+type Options struct {
+	// Insts is the dynamic instruction budget per workload.
+	Insts int64
+	// Workloads selects benchmark names; nil runs the full Table II suite.
+	Workloads []string
+	// Parallel bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallel int
+}
+
+// DefaultOptions runs the full suite at 100K instructions per workload, a
+// laptop-scale budget that keeps predictor warmup meaningful.
+func DefaultOptions() Options {
+	return Options{Insts: 100_000}
+}
+
+// Runner executes experiments, caching per-configuration cycle counts so
+// shared baselines (Baseline_6_60, Baseline_VP_6_60, EOLE_4_60) simulate
+// once per session.
+type Runner struct {
+	opts Options
+
+	mu    sync.Mutex
+	cache map[string]map[string]pipeline.Result // config key -> bench -> result
+}
+
+// NewRunner builds a Runner.
+func NewRunner(opts Options) *Runner {
+	if opts.Insts <= 0 {
+		opts.Insts = DefaultOptions().Insts
+	}
+	return &Runner{opts: opts, cache: map[string]map[string]pipeline.Result{}}
+}
+
+// Workloads returns the selected benchmark names in Table II order.
+func (r *Runner) Workloads() []string {
+	if r.opts.Workloads != nil {
+		return r.opts.Workloads
+	}
+	return workload.Names()
+}
+
+// Results runs (or returns cached) simulations of every selected workload
+// under the configuration identified by key.
+func (r *Runner) Results(key string, mk core.ConfigFactory) map[string]pipeline.Result {
+	r.mu.Lock()
+	if m, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return m
+	}
+	r.mu.Unlock()
+
+	names := r.Workloads()
+	out := make(map[string]pipeline.Result, len(names))
+	var omu sync.Mutex
+
+	par := r.opts.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(bench string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			prof, ok := workload.ProfileByName(bench)
+			if !ok {
+				panic(fmt.Sprintf("experiments: unknown benchmark %q", bench))
+			}
+			res := core.Run(prof, r.opts.Insts, mk)
+			omu.Lock()
+			out[bench] = res
+			omu.Unlock()
+		}(name)
+	}
+	wg.Wait()
+
+	r.mu.Lock()
+	r.cache[key] = out
+	r.mu.Unlock()
+	return out
+}
+
+// Series is one per-benchmark speedup curve plus its summary, the unit of
+// every figure in the paper.
+type Series struct {
+	Name    string
+	Bench   []string  // Table II order
+	Speedup []float64 // aligned with Bench
+	Summary util.Summary
+}
+
+// speedups builds a Series of cycles(base)/cycles(cfg) per benchmark.
+func (r *Runner) speedups(name string, base, cfg map[string]pipeline.Result) Series {
+	s := Series{Name: name}
+	for _, b := range r.Workloads() {
+		rb, ok1 := base[b]
+		rc, ok2 := cfg[b]
+		if !ok1 || !ok2 || rc.Cycles == 0 {
+			continue
+		}
+		s.Bench = append(s.Bench, b)
+		s.Speedup = append(s.Speedup, float64(rb.Cycles)/float64(rc.Cycles))
+	}
+	s.Summary = util.Summarize(s.Speedup)
+	return s
+}
+
+// Baseline results accessors (shared across experiments).
+
+func (r *Runner) baseline() map[string]pipeline.Result {
+	return r.Results("Baseline_6_60", core.Baseline())
+}
+
+func (r *Runner) baselineVPDVTAGE() map[string]pipeline.Result {
+	return r.Results("Baseline_VP_6_60/D-VTAGE", core.BaselineVP("D-VTAGE"))
+}
+
+func (r *Runner) eole() map[string]pipeline.Result {
+	return r.Results("EOLE_4_60", core.EOLEInstVP())
+}
+
+// MinOf returns the benchmark with the minimum speedup in a series.
+func MinOf(s Series) (bench string, v float64) {
+	v = 2 << 20
+	for i, x := range s.Speedup {
+		if x < v {
+			v = x
+			bench = s.Bench[i]
+		}
+	}
+	return
+}
+
+// MaxOf returns the benchmark with the maximum speedup in a series.
+func MaxOf(s Series) (bench string, v float64) {
+	v = -1
+	for i, x := range s.Speedup {
+		if x > v {
+			v = x
+			bench = s.Bench[i]
+		}
+	}
+	return
+}
+
+// sortedKeys returns map keys in sorted order (stable rendering).
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

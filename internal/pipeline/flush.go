@@ -1,0 +1,127 @@
+package pipeline
+
+// flushFrom squashes every µ-op with sequence number strictly greater than
+// keepSeq and arranges for the squashed instructions to be refetched in
+// order. It repairs the rename table and the global branch history, and
+// notifies the value prediction infrastructure so the speculative window
+// and FIFO update queue can apply their recovery policy (Section IV-A).
+func (p *Processor) flushFrom(keepSeq uint64) {
+	// Close any open fetch-block occurrence first so the VP layer sees a
+	// consistent prediction block before squash callbacks arrive.
+	p.closeBlock()
+
+	// Collect squashed instructions, youngest µ-op first in each queue;
+	// instructions are gathered oldest-first for refetch.
+	var squashedInsts []*dynInst
+	markInst := func(u *UOp) {
+		di := u.inst
+		if len(squashedInsts) > 0 && squashedInsts[len(squashedInsts)-1] == di {
+			return
+		}
+		squashedInsts = append(squashedInsts, di)
+	}
+
+	squash := func(u *UOp) {
+		u.Squashed = true
+		p.inflightClear(u)
+		p.stats.SquashedUOps++
+		if p.cfg.VP != nil {
+			p.cfg.VP.OnSquash(u)
+		}
+	}
+
+	// ROB tail.
+	cut := len(p.rob)
+	for cut > 0 && p.rob[cut-1].Seq > keepSeq {
+		cut--
+	}
+	for i := cut; i < len(p.rob); i++ {
+		squash(p.rob[i])
+		markInst(p.rob[i])
+	}
+	p.rob = p.rob[:cut]
+
+	// Decode queue (all in order).
+	feCut := len(p.feQ)
+	for feCut > 0 && p.feQ[feCut-1].Seq > keepSeq {
+		feCut--
+	}
+	for i := feCut; i < len(p.feQ); i++ {
+		squash(p.feQ[i])
+		markInst(p.feQ[i])
+	}
+	p.feQ = p.feQ[:feCut]
+
+	// IQ, LQ, SQ: filter in place.
+	p.iq = filterSeq(p.iq, keepSeq)
+	p.lq = filterSeq(p.lq, keepSeq)
+	p.sq = filterSeq(p.sq, keepSeq)
+
+	// squashedInsts currently holds ROB-order then feQ-order instructions;
+	// both are oldest-first, and feQ instructions are younger than ROB
+	// ones, so the concatenation is already oldest-first. Deduplicate
+	// against instructions partially in both (an instruction split across
+	// dispatch never is: µ-ops dispatch in order, but guard anyway).
+	dedup := squashedInsts[:0]
+	for _, di := range squashedInsts {
+		if len(dedup) == 0 || dedup[len(dedup)-1] != di {
+			dedup = append(dedup, di)
+		}
+	}
+	squashedInsts = dedup
+
+	// Repair the global history: restore the snapshot taken before the
+	// oldest squashed branch pushed its outcome.
+	for _, di := range squashedInsts {
+		if di.pushedHist {
+			p.hist.Restore(di.histBefore)
+			break
+		}
+	}
+
+	// Rename table repair: rebuild from the surviving ROB.
+	for i := range p.renameTable {
+		p.renameTable[i] = 0
+	}
+	for _, u := range p.rob {
+		if u.Dest >= 0 {
+			p.renameTable[u.Dest] = u.Seq
+		}
+	}
+	// Surviving decode-queue µ-ops have not renamed yet; nothing to do.
+
+	// Refetch: push squashed instructions back to the front of the pending
+	// queue, preserving program order.
+	if len(squashedInsts) > 0 {
+		p.pending = append(squashedInsts, p.pending...)
+	}
+
+	// A redirect for a squashed branch is void; the refetch re-detects it.
+	if p.pendingRedirectSeq > keepSeq {
+		p.pendingRedirectSeq = 0
+	}
+
+	// Fetch resumes next cycle at the squashed stream position.
+	if p.fetchStallUntil < p.now+1 {
+		p.fetchStallUntil = p.now + 1
+	}
+
+	if p.cfg.VP != nil {
+		newBlockPC := uint64(0)
+		if len(p.pending) > 0 {
+			newBlockPC = p.pending[0].inst.PC &^ 15
+		}
+		p.cfg.VP.OnFlush(keepSeq, newBlockPC)
+	}
+}
+
+func filterSeq(q []*UOp, keepSeq uint64) []*UOp {
+	n := 0
+	for _, u := range q {
+		if u.Seq <= keepSeq {
+			q[n] = u
+			n++
+		}
+	}
+	return q[:n]
+}

@@ -1,0 +1,177 @@
+package pipeline
+
+import "bebop/internal/isa"
+
+// issueStage picks up to IssueWidth ready µ-ops from the IQ in age order
+// and sends them to the functional units of Table I, releasing IQ entries
+// on issue. Loads check the store queue for forwarding and the store-set
+// predictor for ordering; stores check for memory-order violations against
+// already-executed younger loads.
+func (p *Processor) issueStage() {
+	alu := p.cfg.FU.ALU
+	muldiv := p.cfg.FU.MulDiv
+	fp := p.cfg.FU.FP
+	fpmul := p.cfg.FU.FPMul
+	ldst := p.cfg.FU.LdStPorts
+	st := p.cfg.FU.StPorts
+	issued := 0
+
+	n := 0
+	for i := 0; i < len(p.iq); i++ {
+		u := p.iq[i]
+		if issued >= p.cfg.IssueWidth {
+			p.iq[n] = u
+			n++
+			continue
+		}
+		ok := false
+		switch u.Class {
+		case isa.ClassALU, isa.ClassBranch, isa.ClassNop:
+			if alu > 0 && p.ready(u) {
+				alu--
+				ok = true
+			}
+		case isa.ClassMul:
+			if muldiv > 0 && p.ready(u) {
+				muldiv--
+				ok = true
+			}
+		case isa.ClassDiv:
+			if muldiv > 0 && p.now >= p.divBusyUntil && p.ready(u) {
+				muldiv--
+				ok = true
+				p.divBusyUntil = p.now + classLatency(isa.ClassDiv)
+			}
+		case isa.ClassFP:
+			if fp > 0 && p.ready(u) {
+				fp--
+				ok = true
+			}
+		case isa.ClassFPMul:
+			if fpmul > 0 && p.ready(u) {
+				fpmul--
+				ok = true
+			}
+		case isa.ClassFPDiv:
+			if fpmul > 0 && p.now >= p.fpDivBusyUntil && p.ready(u) {
+				fpmul--
+				ok = true
+				p.fpDivBusyUntil = p.now + classLatency(isa.ClassFPDiv)
+			}
+		case isa.ClassLoad:
+			if ldst > 0 && p.ready(u) && p.loadMayIssue(u) {
+				ldst--
+				ok = true
+			}
+		case isa.ClassStore:
+			if (st > 0 || ldst > 0) && p.ready(u) {
+				if st > 0 {
+					st--
+				} else {
+					ldst--
+				}
+				ok = true
+			}
+		}
+		if !ok {
+			p.iq[n] = u
+			n++
+			continue
+		}
+		issued++
+		p.issue(u)
+	}
+	p.iq = p.iq[:n]
+}
+
+func (p *Processor) issue(u *UOp) {
+	u.Issued = true
+	u.InIQ = false
+	u.IssuedAt = p.now
+	u.Executed = true
+
+	switch u.Class {
+	case isa.ClassLoad:
+		u.DoneAt = p.executeLoad(u)
+		p.stats.LoadsExecuted++
+	case isa.ClassStore:
+		u.DoneAt = p.now + classLatency(u.Class)
+		p.checkMemOrderViolation(u)
+	default:
+		u.DoneAt = p.now + classLatency(u.Class)
+	}
+}
+
+// loadMayIssue enforces memory dependence ordering: a load waits for its
+// store-set-predicted producer store, and for any older same-address store
+// whose data is not yet available (no speculative bypassing of unresolved
+// same-address stores; unknown-address stores are speculatively bypassed,
+// which is what store sets exist to police).
+func (p *Processor) loadMayIssue(u *UOp) bool {
+	if u.StoreDepSeq != 0 {
+		if s := p.lookup(u.StoreDepSeq); s != nil && !(s.Executed && p.now >= s.DoneAt) {
+			return false
+		}
+	}
+	for _, s := range p.sq {
+		if s.Seq >= u.Seq {
+			break
+		}
+		if s.Issued && sameWord(s.Addr, u.Addr) && p.now < s.DoneAt {
+			return false
+		}
+	}
+	return true
+}
+
+// executeLoad returns the load's completion cycle: store-to-load forward
+// from the youngest older matching store, or a D-cache access (1 cycle of
+// address generation + the hierarchy latency).
+func (p *Processor) executeLoad(u *UOp) int64 {
+	var fwd *UOp
+	for _, s := range p.sq {
+		if s.Seq >= u.Seq {
+			break
+		}
+		if s.Issued && sameWord(s.Addr, u.Addr) {
+			fwd = s
+		}
+	}
+	if fwd != nil {
+		p.stats.StoreForwards++
+		done := p.now + 2
+		if fwd.DoneAt+1 > done {
+			done = fwd.DoneAt + 1
+		}
+		return done
+	}
+	return p.mem.ReadData(u.PC, u.Addr, p.now+1)
+}
+
+// checkMemOrderViolation detects loads that issued before an older
+// same-address store: the load consumed stale data, so everything from the
+// load's instruction onward squashes and the store set predictor learns
+// the pair (Section V-A: store sets allow independent memory instructions
+// to issue out of order).
+func (p *Processor) checkMemOrderViolation(store *UOp) {
+	var victim *UOp
+	for _, l := range p.lq {
+		if l.Seq <= store.Seq || !l.Issued {
+			continue
+		}
+		if sameWord(l.Addr, store.Addr) && (victim == nil || l.Seq < victim.Seq) {
+			victim = l
+		}
+	}
+	if victim == nil {
+		return
+	}
+	p.sset.Violation(victim.PC, store.PC)
+	p.stats.MemOrderFlushes++
+	// Squash from the load's instruction onward and refetch.
+	p.flushFrom(victim.inst.uops[0].Seq - 1)
+}
+
+// sameWord compares addresses at 8-byte granularity, the conflict
+// resolution grain of the LSQ.
+func sameWord(a, b uint64) bool { return a>>3 == b>>3 }

@@ -1,0 +1,257 @@
+package pipeline
+
+import (
+	"bebop/internal/branch"
+	"bebop/internal/cache"
+	"bebop/internal/isa"
+	"bebop/internal/memdep"
+)
+
+// Processor is the cycle-level superscalar model. Create one with New,
+// drive it with Run, and read the Result.
+type Processor struct {
+	cfg    Config
+	stream isa.Stream
+
+	now    int64
+	seqCtr uint64
+
+	hist branch.History
+	tage *branch.TAGE
+	btb  *branch.BTB
+	ras  *branch.RAS
+	mem  *cache.Hierarchy
+	sset *memdep.StoreSets
+
+	// pending holds squashed instructions awaiting refetch, oldest first;
+	// refetch drains it before reading new instructions from the stream.
+	pending    []*dynInst
+	streamDone bool
+
+	// Front-end state.
+	fetchStallUntil    int64
+	pendingRedirectSeq uint64
+	feQ                []*UOp
+
+	// Open fetch-block occurrence (may span cycles on width limits).
+	blockOpen     bool
+	blockPC       uint64
+	blockFirstSeq uint64
+	blockUOps     []*UOp
+
+	// Out-of-order structures.
+	rob []*UOp
+	iq  []*UOp
+	lq  []*UOp
+	sq  []*UOp
+
+	renameTable [isa.NumArchRegs]uint64
+	inflight    []*UOp // ring indexed by Seq & (len-1)
+
+	// Unpipelined divider busy-until cycles.
+	divBusyUntil, fpDivBusyUntil int64
+
+	instPool []*dynInst
+
+	stats Stats
+	// Measurement window: counters at the warmup boundary are snapshotted
+	// and subtracted, mirroring the paper's "warm 50M, measure 100M"
+	// methodology.
+	warmed     bool
+	warmStats  Stats
+	warmCycles int64
+	warmL1D    uint64
+	warmL2     uint64
+}
+
+// Stats accumulates run statistics.
+type Stats struct {
+	Cycles           int64
+	Insts            uint64
+	UOps             uint64
+	FetchedUOps      uint64
+	BrCondRetired    uint64
+	BrMispredicts    uint64
+	BTBMisses        uint64
+	ValueMispredicts uint64
+	MemOrderFlushes  uint64
+	SquashedUOps     uint64
+	EarlyExecuted    uint64
+	LateExecuted     uint64
+	FreeLoadImms     uint64
+	LoadsExecuted    uint64
+	StoreForwards    uint64
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Config string
+	Stats
+	IPC         float64 // instructions per cycle
+	UPC         float64 // µ-ops per cycle
+	VP          VPStats
+	BrMispPKI   float64 // branch mispredictions per kilo-instruction
+	L1DMisses   uint64
+	L2Misses    uint64
+	StorageBits int
+}
+
+const inflightRing = 2048
+
+// New builds a processor for cfg over the given instruction stream.
+func New(cfg Config, stream isa.Stream) *Processor {
+	p := &Processor{
+		cfg:      cfg,
+		stream:   stream,
+		tage:     branch.NewTAGE(cfg.BranchCfg),
+		btb:      branch.NewBTB(cfg.BTBEntries, cfg.BTBWays),
+		ras:      branch.NewRAS(cfg.RASEntries),
+		mem:      cache.NewHierarchy(cfg.MemCfg),
+		sset:     memdep.New(cfg.StoreSetEntries),
+		inflight: make([]*UOp, inflightRing),
+	}
+	p.seqCtr = 1
+	return p
+}
+
+// Run simulates until the stream is exhausted and the pipeline drains,
+// returning the result. maxCycles bounds runaway simulations (0 = no
+// bound).
+func (p *Processor) Run(maxCycles int64) Result {
+	return p.RunWarm(0, maxCycles)
+}
+
+// RunWarm simulates like Run but excludes the first warmupInsts retired
+// instructions from all reported statistics: caches, branch predictor and
+// value predictor train during warmup, and measurement starts only at the
+// boundary (the methodology of Section V-C).
+func (p *Processor) RunWarm(warmupInsts, maxCycles int64) Result {
+	for {
+		p.commitStage()
+		p.issueStage()
+		p.dispatchStage()
+		p.fetchStage()
+		p.now++
+		if !p.warmed && warmupInsts > 0 && p.stats.Insts >= uint64(warmupInsts) {
+			p.markWarm()
+		}
+		if p.streamDone && len(p.pending) == 0 && len(p.feQ) == 0 && len(p.rob) == 0 {
+			break
+		}
+		if maxCycles > 0 && p.now >= maxCycles {
+			break
+		}
+	}
+	p.stats.Cycles = p.now
+	return p.result()
+}
+
+func (p *Processor) markWarm() {
+	p.warmed = true
+	p.warmStats = p.stats
+	p.warmCycles = p.now
+	p.warmL1D = p.mem.L1D.Misses
+	p.warmL2 = p.mem.L2.Misses
+	if p.cfg.VP != nil {
+		p.cfg.VP.ResetStats()
+	}
+}
+
+func (p *Processor) result() Result {
+	stats := p.stats
+	if p.warmed {
+		stats = Stats{
+			Cycles:           p.stats.Cycles - p.warmCycles,
+			Insts:            p.stats.Insts - p.warmStats.Insts,
+			UOps:             p.stats.UOps - p.warmStats.UOps,
+			FetchedUOps:      p.stats.FetchedUOps - p.warmStats.FetchedUOps,
+			BrCondRetired:    p.stats.BrCondRetired - p.warmStats.BrCondRetired,
+			BrMispredicts:    p.stats.BrMispredicts - p.warmStats.BrMispredicts,
+			BTBMisses:        p.stats.BTBMisses - p.warmStats.BTBMisses,
+			ValueMispredicts: p.stats.ValueMispredicts - p.warmStats.ValueMispredicts,
+			MemOrderFlushes:  p.stats.MemOrderFlushes - p.warmStats.MemOrderFlushes,
+			SquashedUOps:     p.stats.SquashedUOps - p.warmStats.SquashedUOps,
+			EarlyExecuted:    p.stats.EarlyExecuted - p.warmStats.EarlyExecuted,
+			LateExecuted:     p.stats.LateExecuted - p.warmStats.LateExecuted,
+			FreeLoadImms:     p.stats.FreeLoadImms - p.warmStats.FreeLoadImms,
+			LoadsExecuted:    p.stats.LoadsExecuted - p.warmStats.LoadsExecuted,
+			StoreForwards:    p.stats.StoreForwards - p.warmStats.StoreForwards,
+		}
+	}
+	r := Result{
+		Config:    p.cfg.Name,
+		Stats:     stats,
+		L1DMisses: p.mem.L1D.Misses - p.warmL1D,
+		L2Misses:  p.mem.L2.Misses - p.warmL2,
+	}
+	if r.Cycles > 0 {
+		r.IPC = float64(r.Insts) / float64(r.Cycles)
+		r.UPC = float64(r.UOps) / float64(r.Cycles)
+	}
+	if r.Insts > 0 {
+		r.BrMispPKI = 1000 * float64(r.BrMispredicts) / float64(r.Insts)
+	}
+	if p.cfg.VP != nil {
+		r.VP = p.cfg.VP.Stats()
+		r.StorageBits = p.cfg.VP.StorageBits()
+	}
+	return r
+}
+
+// lookup returns the in-flight µ-op with the given seq, or nil if it has
+// committed or been squashed.
+func (p *Processor) lookup(seq uint64) *UOp {
+	u := p.inflight[seq&(inflightRing-1)]
+	if u != nil && u.Seq == seq && !u.Committed && !u.Squashed {
+		return u
+	}
+	return nil
+}
+
+// valueAvailable reports whether the result of producer seq can be
+// consumed at the current cycle: the producer has committed, was executed
+// and its result is ready, or carries a confident prediction written to
+// the PRF at dispatch.
+func (p *Processor) valueAvailable(seq uint64) bool {
+	if seq == 0 {
+		return true
+	}
+	u := p.lookup(seq)
+	if u == nil {
+		return true // committed (or squashed: then we are being squashed too)
+	}
+	if u.PredConfident && u.Dispatched {
+		return true
+	}
+	if u.Executed && p.now >= u.DoneAt {
+		return true
+	}
+	return false
+}
+
+// ready reports whether all of u's register dependences are satisfied.
+func (p *Processor) ready(u *UOp) bool {
+	return p.valueAvailable(u.dep[0]) && p.valueAvailable(u.dep[1])
+}
+
+func classLatency(c isa.Class) int64 {
+	switch c {
+	case isa.ClassALU, isa.ClassBranch, isa.ClassNop:
+		return 1
+	case isa.ClassMul:
+		return 3
+	case isa.ClassDiv:
+		return 25
+	case isa.ClassFP:
+		return 3
+	case isa.ClassFPMul:
+		return 5
+	case isa.ClassFPDiv:
+		return 10
+	case isa.ClassStore:
+		return 1
+	case isa.ClassLoad:
+		return 1 // plus the cache access, added at issue
+	}
+	return 1
+}

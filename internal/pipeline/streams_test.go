@@ -1,0 +1,154 @@
+package pipeline
+
+import "bebop/internal/isa"
+
+// Test streams: small hand-built programs with known timing properties.
+
+// chainStream emits a pure serial FP dependence chain (r1 = r1 + k) at
+// unique PCs: the pipeline must take ~latency cycles per instruction.
+type chainStream struct {
+	n   int64
+	pc  uint64
+	cur uint64
+}
+
+func (c *chainStream) Next(in *isa.Inst) bool {
+	if c.n <= 0 {
+		return false
+	}
+	c.n--
+	c.cur += 7
+	if c.pc == 0 {
+		c.pc = 0x10000
+	}
+	*in = isa.Inst{PC: c.pc, Size: 4, NumUOps: 1}
+	in.UOps[0] = isa.MicroOp{
+		Dest:  isa.Reg(1),
+		Src:   [2]isa.Reg{1, isa.RegNone},
+		Class: isa.ClassFP,
+		Value: c.cur,
+	}
+	c.pc += 4
+	return true
+}
+
+// indepStream emits fully independent 1-cycle ALU ops: IPC should approach
+// the machine width limits.
+type indepStream struct {
+	n  int64
+	pc uint64
+	i  uint64
+}
+
+func (c *indepStream) Next(in *isa.Inst) bool {
+	if c.n <= 0 {
+		return false
+	}
+	c.n--
+	if c.pc == 0 {
+		c.pc = 0x10000
+	}
+	c.i++
+	*in = isa.Inst{PC: c.pc, Size: 4, NumUOps: 1}
+	in.UOps[0] = isa.MicroOp{
+		Dest:  isa.Reg(1 + c.i%32),
+		Src:   [2]isa.Reg{60, isa.RegNone},
+		Class: isa.ClassALU,
+		Value: c.i,
+	}
+	c.pc += 4
+	if c.pc >= 0x10000+4096 {
+		c.pc = 0x10000 // stay I-cache resident
+	}
+	return true
+}
+
+// loopChainStream: a 6-instruction loop: 5 dependent FP chain ops + a
+// backward conditional branch, always taken.
+type loopChainStream struct {
+	n   int64
+	idx int
+	cur uint64
+	// prev[i] is the previous value of static chain op i (trace oracle).
+	prev    [5]uint64
+	hasPrev [5]bool
+	// values optionally strided for VP tests; chaosVals makes them
+	// unpredictable.
+	chaosVals bool
+	rngState  uint64
+}
+
+func (c *loopChainStream) Next(in *isa.Inst) bool {
+	if c.n <= 0 {
+		return false
+	}
+	c.n--
+	base := uint64(0x10000)
+	if c.idx < 5 {
+		if c.chaosVals {
+			c.rngState = c.rngState*6364136223846793005 + 1442695040888963407
+			c.cur = c.rngState
+		} else {
+			c.cur += 3
+		}
+		*in = isa.Inst{PC: base + uint64(c.idx)*4, Size: 4, NumUOps: 1}
+		in.UOps[0] = isa.MicroOp{
+			Dest: 1, Src: [2]isa.Reg{1, isa.RegNone},
+			Class: isa.ClassFP, Value: c.cur,
+			PrevValue: c.prev[c.idx], HasPrev: c.hasPrev[c.idx],
+		}
+		c.prev[c.idx] = c.cur
+		c.hasPrev[c.idx] = true
+		c.idx++
+		return true
+	}
+	*in = isa.Inst{PC: base + 20, Size: 4, NumUOps: 1, Kind: isa.BranchCond, Taken: true, Target: base}
+	in.UOps[0] = isa.MicroOp{Dest: isa.RegNone, Src: [2]isa.Reg{1, isa.RegNone}, Class: isa.ClassBranch}
+	c.idx = 0
+	return true
+}
+
+// branchyStream alternates a random-looking but pattern-free branch with
+// filler so branch misprediction penalties dominate.
+type loadStoreStream struct {
+	n        int64
+	pc       uint64
+	i        uint64
+	addr     uint64
+	conflict bool // store then load to the same address (forwarding)
+}
+
+func (c *loadStoreStream) Next(in *isa.Inst) bool {
+	if c.n <= 0 {
+		return false
+	}
+	c.n--
+	if c.pc == 0 {
+		c.pc = 0x10000
+	}
+	c.i++
+	addr := uint64(0x100000)
+	if !c.conflict {
+		addr += (c.i % 512) * 64
+	}
+	if c.i%2 == 1 {
+		*in = isa.Inst{PC: c.pc, Size: 4, NumUOps: 1}
+		in.UOps[0] = isa.MicroOp{
+			Dest: isa.RegNone, Src: [2]isa.Reg{2, 3},
+			Class: isa.ClassStore, Addr: addr,
+		}
+	} else {
+		*in = isa.Inst{PC: c.pc + 4, Size: 4, NumUOps: 1}
+		in.UOps[0] = isa.MicroOp{
+			Dest: isa.Reg(4 + c.i%8), Src: [2]isa.Reg{60, isa.RegNone},
+			Class: isa.ClassLoad, Addr: addr, Value: c.i,
+		}
+	}
+	if c.i%2 == 0 {
+		c.pc += 8
+		if c.pc > 0x14000 {
+			c.pc = 0x10000
+		}
+	}
+	return true
+}

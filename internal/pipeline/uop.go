@@ -1,0 +1,100 @@
+package pipeline
+
+import (
+	"bebop/internal/branch"
+	"bebop/internal/isa"
+	"bebop/internal/predictor"
+)
+
+// UOp is one in-flight µ-op. Fields up to PrevValue come from the trace;
+// the rest is pipeline and value prediction state.
+type UOp struct {
+	// Seq is the µ-op's sequence number, assigned at (re)fetch; it orders
+	// everything in the machine. Refetched µ-ops receive fresh numbers.
+	Seq uint64
+	// PC is the parent instruction's address, Boundary its byte offset in
+	// the fetch block, BlockPC the block address, UopIdx the µ-op's index
+	// within the instruction.
+	PC       uint64
+	BlockPC  uint64
+	Boundary uint8
+	UopIdx   int8
+
+	Dest  isa.Reg
+	Src   [2]isa.Reg
+	Class isa.Class
+	// Value is the architectural result (trace oracle), Addr the memory
+	// address for loads/stores.
+	Value uint64
+	Addr  uint64
+
+	IsLoadImm bool
+	Eligible  bool
+	// PrevValue/HasPrev: oracle for the idealistic speculative window.
+	PrevValue uint64
+	HasPrev   bool
+
+	// IsBranch marks the resolving µ-op of a branch instruction;
+	// BrMispredicted is set at fetch when the front end went wrong.
+	IsBranch       bool
+	BrMispredicted bool
+
+	// dep[i] is the sequence number of the producer of Src[i]; 0 = ready.
+	dep [2]uint64
+
+	// Timing state.
+	FetchedAt  int64
+	DispatchAt int64
+	IssuedAt   int64
+	DoneAt     int64
+	Dispatched bool
+	InIQ       bool
+	Issued     bool
+	Executed   bool
+	EarlyExec  bool // EOLE early execution (or free load-immediate)
+	LateExec   bool // EOLE late execution at commit
+	Committed  bool
+	Squashed   bool
+
+	// Memory dependence state.
+	StoreDepSeq uint64 // store-set predicted producer store, 0 = none
+
+	// Value prediction state.
+	Predicted     bool   // a prediction was attributed to this µ-op
+	PredValue     uint64 // the predicted value
+	PredConfident bool   // confidence saturated: the prediction was used
+	// Outcome carries per-instruction predictor metadata (Section VI-A
+	// operation); block-based operation uses VPRec/VPSlot instead.
+	Outcome predictor.Outcome
+	// VPRec points at the in-flight block prediction record owning this
+	// µ-op's slot; VPSlot is the slot index (-1 = unattributed).
+	VPRec  any
+	VPSlot int8
+
+	inst *dynInst
+}
+
+// dynInst groups the µ-ops of one dynamic instruction so squashed
+// instructions can be re-fetched whole.
+type dynInst struct {
+	inst     isa.Inst
+	uops     []*UOp
+	brPred   branch.Prediction
+	brPredOK bool // TAGE was consulted (conditional branch)
+	// histBefore snapshots the global history before this instruction's
+	// branch outcome was pushed, for repair on squash.
+	histBefore branch.History
+	pushedHist bool
+	committed  int // µ-ops committed so far
+}
+
+// SrcCount returns the number of valid sources.
+func (u *UOp) SrcCount() int {
+	n := 0
+	for _, s := range u.Src {
+		if s != isa.RegNone {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,135 @@
+package pipeline
+
+import (
+	"bebop/internal/branch"
+	"bebop/internal/predictor"
+)
+
+// VP is the value prediction infrastructure seen by the pipeline. Two
+// implementations exist: InstVP (per-instruction prediction with an
+// idealistic speculative window, Section VI-A) and bebop.BlockVP (the
+// block-based BeBoP infrastructure with D-VTAGE, speculative window and
+// FIFO update queue, Sections II–IV).
+type VP interface {
+	// Name identifies the infrastructure in reports.
+	Name() string
+	// OnFetchBlock is called once per fetched block occurrence, in fetch
+	// order, with the µ-ops fetched from that block. The implementation
+	// attributes predictions by setting Predicted/PredValue/PredConfident
+	// on eligible µ-ops.
+	OnFetchBlock(blockPC, firstSeq uint64, hist *branch.History, uops []*UOp)
+	// OnRetire is called for every retired µ-op in program order so the
+	// predictor trains on architectural values.
+	OnRetire(u *UOp)
+	// OnSquash is called for every squashed µ-op (youngest first) so
+	// in-flight prediction state can be reclaimed.
+	OnSquash(u *UOp)
+	// OnFlush is called once after a squash completes. flushSeq is the
+	// youngest surviving sequence number and newBlockPC the fetch block
+	// of the next instruction to be fetched, so block-based
+	// implementations can apply their recovery policy (Section IV-A).
+	OnFlush(flushSeq uint64, newBlockPC uint64)
+	// StorageBits returns the infrastructure storage budget in bits.
+	StorageBits() int
+	// Stats returns prediction counters.
+	Stats() VPStats
+	// ResetStats zeroes the prediction counters (warmup boundary); trained
+	// predictor state is kept.
+	ResetStats()
+}
+
+// VPStats counts value prediction events.
+type VPStats struct {
+	// Eligible counts retired µ-ops that were candidates for prediction.
+	Eligible uint64
+	// Attributed counts retired µ-ops that received a prediction.
+	Attributed uint64
+	// Used counts retired µ-ops whose prediction was confident (written
+	// to the PRF and consumed by dependents).
+	Used uint64
+	// UsedCorrect counts used predictions that matched the architectural
+	// value; Used-UsedCorrect is the squash count.
+	UsedCorrect uint64
+	// SpecWindowHits/Probes count speculative window activity.
+	SpecWindowHits, SpecWindowProbes uint64
+}
+
+// Coverage returns used predictions per eligible µ-op.
+func (s VPStats) Coverage() float64 {
+	if s.Eligible == 0 {
+		return 0
+	}
+	return float64(s.Used) / float64(s.Eligible)
+}
+
+// Accuracy returns correct predictions per used prediction.
+func (s VPStats) Accuracy() float64 {
+	if s.Used == 0 {
+		return 1
+	}
+	return float64(s.UsedCorrect) / float64(s.Used)
+}
+
+// InstVP drives a per-instruction value predictor with the idealistic
+// infrastructure of the Section VI-A potential study: every eligible µ-op
+// is predicted individually, and stride-based predictors receive the
+// oracle previous-instance value, equivalent to an unbounded
+// instruction-grained speculative window with perfect repair.
+type InstVP struct {
+	P     predictor.Predictor
+	stats VPStats
+}
+
+// NewInstVP wraps a per-instruction predictor.
+func NewInstVP(p predictor.Predictor) *InstVP { return &InstVP{P: p} }
+
+// Name implements VP.
+func (v *InstVP) Name() string { return v.P.Name() }
+
+// OnFetchBlock implements VP.
+func (v *InstVP) OnFetchBlock(_, _ uint64, hist *branch.History, uops []*UOp) {
+	for _, u := range uops {
+		if !u.Eligible {
+			continue
+		}
+		o := v.P.Predict(u.PC, int(u.UopIdx), hist, u.PrevValue, u.HasPrev)
+		u.Outcome = o
+		u.Predicted = o.Predicted
+		u.PredValue = o.Value
+		u.PredConfident = o.Predicted && o.Confident
+	}
+}
+
+// OnRetire implements VP.
+func (v *InstVP) OnRetire(u *UOp) {
+	if !u.Eligible {
+		return
+	}
+	v.stats.Eligible++
+	if u.Predicted {
+		v.stats.Attributed++
+		if u.PredConfident {
+			v.stats.Used++
+			if u.PredValue == u.Value {
+				v.stats.UsedCorrect++
+			}
+		}
+		v.P.Update(&u.Outcome, u.Value)
+	}
+}
+
+// OnSquash implements VP.
+func (v *InstVP) OnSquash(*UOp) {}
+
+// OnFlush implements VP. The idealistic infrastructure repairs itself
+// perfectly; the oracle PrevValue provides post-flush consistency.
+func (v *InstVP) OnFlush(uint64, uint64) {}
+
+// StorageBits implements VP.
+func (v *InstVP) StorageBits() int { return v.P.StorageBits() }
+
+// Stats implements VP.
+func (v *InstVP) Stats() VPStats { return v.stats }
+
+// ResetStats implements VP.
+func (v *InstVP) ResetStats() { v.stats = VPStats{} }

@@ -1,0 +1,500 @@
+package predictor
+
+import (
+	"bebop/internal/branch"
+	"bebop/internal/util"
+)
+
+// DVTAGEConfig sizes a Differential VTAGE predictor (Section III). The
+// predictor is organized block-based: every entry holds NPred prediction
+// slots, one per potential result in the fetch block (NPred = 1 gives the
+// per-instruction organization used in Section VI-A).
+type DVTAGEConfig struct {
+	// NPred is the number of prediction slots per entry (4, 6 or 8 in the
+	// paper's sweeps; 1 for per-instruction operation).
+	NPred int
+	// BaseEntries sizes the base component; the LVT (last values +
+	// byte-index tags) and VT0 (strides + confidence) are both direct
+	// mapped with this many entries.
+	BaseEntries int
+	// LVTTagBits is the partial tag on the LVT ("we use small tags (e.g.
+	// 5 bits) on the LVT to maximize accuracy").
+	LVTTagBits int
+	// TaggedEntries is the entry count of each tagged component.
+	TaggedEntries int
+	// NumComps is the number of tagged components (6 in the paper).
+	NumComps int
+	// HistLens gives the global history length per tagged component,
+	// geometric 2..64 in the paper.
+	HistLens []int
+	// TagBitsLo is the partial tag width of the first tagged component;
+	// it grows by one per component (13, 14, ... in Section V-B).
+	TagBitsLo int
+	// StrideBits is the stored stride width: 64, 32, 16 or 8. Partial
+	// strides are the main storage lever (Section VI-B(a)).
+	StrideBits int
+	// FPCProbs is the forward probabilistic counter probability vector.
+	FPCProbs []int
+	// SpecWinEntries and SpecWinTagBits describe the attached speculative
+	// window; they participate only in storage accounting (the window
+	// itself lives in package specwindow).
+	SpecWinEntries int
+	SpecWinTagBits int
+	// Seed drives the FPC and allocation randomness.
+	Seed uint64
+}
+
+// DefaultDVTAGEConfig is the large exploration configuration of Section
+// V-B: 8K-entry base, six 1K-entry tagged components, 64-bit strides,
+// per-instruction (NPred = 1).
+func DefaultDVTAGEConfig() DVTAGEConfig {
+	return DVTAGEConfig{
+		NPred:         1,
+		BaseEntries:   8192,
+		LVTTagBits:    5,
+		TaggedEntries: 1024,
+		NumComps:      6,
+		HistLens:      []int{2, 4, 8, 16, 32, 64},
+		TagBitsLo:     13,
+		StrideBits:    64,
+		FPCProbs:      DefaultFPCProbs(),
+		Seed:          0xD57A6E,
+	}
+}
+
+// StorageBits computes the predictor storage from first principles:
+// LVT (block tag + NPred × (64-bit last value + 4-bit byte tag)), VT0
+// (NPred × (stride + confidence)), tagged components (partial tag +
+// usefulness + NPred × (stride + confidence)) and the speculative window
+// (partial tag + 16-bit sequence number + NPred × (64-bit value + 4-bit
+// byte tag)). This is the Table III accounting.
+func (cfg DVTAGEConfig) StorageBits() int {
+	confBits := 3
+	byteTagBits := 4
+	lvt := cfg.BaseEntries * (cfg.LVTTagBits + cfg.NPred*(64+byteTagBits))
+	vt0 := cfg.BaseEntries * cfg.NPred * (cfg.StrideBits + confBits)
+	tagged := 0
+	for i := 0; i < cfg.NumComps; i++ {
+		tagged += cfg.TaggedEntries * (cfg.TagBitsLo + i + 1 + cfg.NPred*(cfg.StrideBits+confBits))
+	}
+	spec := cfg.SpecWinEntries * (cfg.SpecWinTagBits + 16 + cfg.NPred*(64+byteTagBits))
+	return lvt + vt0 + tagged + spec
+}
+
+// DVTAGE is the Differential VTAGE predictor: VTAGE structure, but tables
+// hold strides instead of full values, and the base component is a stride
+// predictor split into a Last Value Table and a stride/confidence table
+// (VT0). Predictions are formed as lastValue + selectedStride where the
+// stride comes from the longest matching tagged component, VTAGE-style.
+type DVTAGE struct {
+	cfg   DVTAGEConfig
+	lvt   []dvtLVTEntry
+	vt0   []dvtVT0Entry
+	comps []dvtComp
+	fpc   *FPC
+	rng   *util.RNG
+	tick  int
+
+	// strideOverflows counts strides that did not fit StrideBits, the
+	// coverage loss mechanism of partial strides.
+	StrideOverflows uint64
+}
+
+type dvtLVTEntry struct {
+	valid bool
+	tag   uint16
+	vals  [MaxNPred]uint64
+	has   [MaxNPred]bool  // slot holds a trained last value
+	btags [MaxNPred]uint8 // byte-index tags (Section II-B1)
+}
+
+type dvtVT0Entry struct {
+	strides [MaxNPred]int64
+	conf    [MaxNPred]uint8
+}
+
+type dvtComp struct {
+	entries []dvtTaggedEntry
+	histLen int
+	tagBits int
+	idxBits int
+}
+
+type dvtTaggedEntry struct {
+	tag     uint32
+	strides [MaxNPred]int64
+	conf    [MaxNPred]uint8
+	useful  bool
+}
+
+// NewDVTAGE builds a D-VTAGE predictor.
+func NewDVTAGE(cfg DVTAGEConfig) *DVTAGE {
+	if cfg.NPred < 1 || cfg.NPred > MaxNPred {
+		panic("predictor: NPred out of range")
+	}
+	if !util.IsPowerOfTwo(cfg.BaseEntries) || !util.IsPowerOfTwo(cfg.TaggedEntries) {
+		panic("predictor: D-VTAGE table sizes must be powers of two")
+	}
+	if len(cfg.HistLens) != cfg.NumComps {
+		panic("predictor: D-VTAGE needs one history length per component")
+	}
+	d := &DVTAGE{
+		cfg: cfg,
+		lvt: make([]dvtLVTEntry, cfg.BaseEntries),
+		vt0: make([]dvtVT0Entry, cfg.BaseEntries),
+		fpc: NewFPC(cfg.FPCProbs, cfg.Seed),
+		rng: util.NewRNG(cfg.Seed ^ 0xA110C),
+	}
+	idxBits := util.Log2(cfg.TaggedEntries)
+	for i := 0; i < cfg.NumComps; i++ {
+		d.comps = append(d.comps, dvtComp{
+			entries: make([]dvtTaggedEntry, cfg.TaggedEntries),
+			histLen: cfg.HistLens[i],
+			tagBits: cfg.TagBitsLo + i,
+			idxBits: idxBits,
+		})
+	}
+	return d
+}
+
+// Config returns the construction configuration.
+func (d *DVTAGE) Config() DVTAGEConfig { return d.cfg }
+
+// NPred returns the number of prediction slots per entry.
+func (d *DVTAGE) NPred() int { return d.cfg.NPred }
+
+// Name identifies the predictor.
+func (d *DVTAGE) Name() string { return "D-VTAGE" }
+
+// StorageBits returns the storage budget in bits.
+func (d *DVTAGE) StorageBits() int { return d.cfg.StorageBits() }
+
+// BlockLookup is the result of reading all D-VTAGE components for one
+// fetch block, before last values are (possibly) overridden by the
+// speculative window and before strides are added. It doubles as the
+// prediction-time metadata needed at update, carried through the FIFO
+// update queue.
+type BlockLookup struct {
+	// LVTHit reports whether the LVT entry matched the block tag.
+	LVTHit bool
+	// Last and HasLast give per-slot last values from the LVT.
+	Last    [MaxNPred]uint64
+	HasLast [MaxNPred]bool
+	// ByteTags are the per-slot byte-index tags used for attribution.
+	ByteTags [MaxNPred]uint8
+	// Strides and Conf come from the providing component.
+	Strides [MaxNPred]int64
+	Conf    [MaxNPred]uint8
+	// Provider is the providing tagged component, -1 for VT0.
+	Provider int8
+
+	// prediction-time table positions
+	lvtIdx  int32
+	lvtTag  uint16
+	indices [8]int32
+	tags    [8]uint32
+	// alternate strides for the usefulness computation
+	altStrides [MaxNPred]int64
+	altHas     bool
+}
+
+func (d *DVTAGE) lvtIndex(blockPC uint64) (int32, uint16) {
+	h := util.Mix64(blockPC)
+	idx := int32(h & uint64(len(d.lvt)-1))
+	tag := uint16((h >> 48) & ((1 << d.cfg.LVTTagBits) - 1))
+	return idx, tag
+}
+
+func (c *dvtComp) index(blockPC uint64, h *branch.History) int32 {
+	folded := h.Fold(c.histLen, c.idxBits)
+	pathFold := util.FoldBits(h.Path(), 16, c.idxBits)
+	return int32((util.Mix64(blockPC) ^ folded ^ pathFold<<1) & uint64(len(c.entries)-1))
+}
+
+func (c *dvtComp) tagOf(blockPC uint64, h *branch.History) uint32 {
+	f1 := h.Fold(c.histLen, c.tagBits)
+	f2 := h.Fold(c.histLen, c.tagBits-1)
+	return uint32((util.Mix64(blockPC^0x9E37) ^ f1 ^ f2<<1) & ((uint64(1) << c.tagBits) - 1))
+}
+
+// Lookup reads the LVT, VT0 and all tagged components for blockPC under
+// the given history. All components are accessed in parallel in hardware;
+// the returned BlockLookup contains everything needed to form predictions
+// and to train at retire time.
+func (d *DVTAGE) Lookup(blockPC uint64, hist *branch.History) BlockLookup {
+	var bl BlockLookup
+	bl.Provider = -1
+	bl.lvtIdx, bl.lvtTag = d.lvtIndex(blockPC)
+
+	lvt := &d.lvt[bl.lvtIdx]
+	if lvt.valid && lvt.tag == bl.lvtTag {
+		bl.LVTHit = true
+		for m := 0; m < d.cfg.NPred; m++ {
+			bl.Last[m] = lvt.vals[m]
+			bl.HasLast[m] = lvt.has[m]
+			bl.ByteTags[m] = lvt.btags[m]
+		}
+	}
+
+	for i := range d.comps {
+		c := &d.comps[i]
+		bl.indices[i] = c.index(blockPC, hist)
+		bl.tags[i] = c.tagOf(blockPC, hist)
+	}
+	// Longest matching tagged component provides the strides; the next
+	// hit (or VT0) is the alternate used for usefulness.
+	alt := -2
+	for i := len(d.comps) - 1; i >= 0; i-- {
+		e := &d.comps[i].entries[bl.indices[i]]
+		if e.tag == bl.tags[i] {
+			if bl.Provider == -1 && alt == -2 {
+				bl.Provider = int8(i)
+			} else {
+				alt = i
+				break
+			}
+		}
+	}
+	vt0 := &d.vt0[bl.lvtIdx]
+	if bl.Provider >= 0 {
+		e := &d.comps[bl.Provider].entries[bl.indices[bl.Provider]]
+		for m := 0; m < d.cfg.NPred; m++ {
+			bl.Strides[m] = e.strides[m]
+			bl.Conf[m] = e.conf[m]
+		}
+		bl.altHas = true
+		if alt >= 0 {
+			ae := &d.comps[alt].entries[bl.indices[alt]]
+			for m := 0; m < d.cfg.NPred; m++ {
+				bl.altStrides[m] = ae.strides[m]
+			}
+		} else {
+			for m := 0; m < d.cfg.NPred; m++ {
+				bl.altStrides[m] = vt0.strides[m]
+			}
+		}
+	} else {
+		for m := 0; m < d.cfg.NPred; m++ {
+			bl.Strides[m] = vt0.strides[m]
+			bl.Conf[m] = vt0.conf[m]
+		}
+	}
+	return bl
+}
+
+// PredictSlot forms the prediction for slot m given the (possibly
+// speculative-window-overridden) last value.
+func (d *DVTAGE) PredictSlot(bl *BlockLookup, m int, last uint64, hasLast bool) (value uint64, confident bool) {
+	if !hasLast {
+		return 0, false
+	}
+	return last + uint64(bl.Strides[m]), d.fpc.Saturated(bl.Conf[m])
+}
+
+// Saturated reports whether a confidence counter value allows use.
+func (d *DVTAGE) Saturated(c uint8) bool { return d.fpc.Saturated(c) }
+
+// SlotUpdate is the retire-time information for one prediction slot.
+type SlotUpdate struct {
+	// Used reports whether a retired µ-op was attributed to this slot.
+	Used bool
+	// Actual is the retired architectural value.
+	Actual uint64
+	// Predicted is the value that was predicted at fetch time.
+	Predicted uint64
+	// WasPredicted reports whether the slot produced a prediction at all
+	// (LVT hit with a valid last value).
+	WasPredicted bool
+	// ByteTag is the fetch-block byte offset of the attributed µ-op.
+	ByteTag uint8
+}
+
+// UpdateBlock carries one retired block's training information.
+type UpdateBlock struct {
+	BlockPC uint64
+	Lookup  BlockLookup
+	Slots   [MaxNPred]SlotUpdate
+}
+
+// Update trains the predictor with a retired block, following Section
+// III-D(b): the providing entry is updated per slot; an entry is allocated
+// in a higher component if at least one prediction in the block was wrong,
+// with the confidence counters of correct slots propagated to the new
+// entry; the usefulness bit is kept per block.
+func (d *DVTAGE) Update(u *UpdateBlock) {
+	bl := &u.Lookup
+	lvt := &d.lvt[bl.lvtIdx]
+	vt0 := &d.vt0[bl.lvtIdx]
+
+	lvtMatched := lvt.valid && lvt.tag == bl.lvtTag
+
+	// Compute per-slot training strides before overwriting the LVT:
+	// newStride = retired value - previous retired value of the slot.
+	var newStride [MaxNPred]int64
+	var haveStride [MaxNPred]bool
+	anyWrong := false
+	anyCorrect := false
+	anyUseful := false
+	for m := 0; m < d.cfg.NPred; m++ {
+		s := &u.Slots[m]
+		if !s.Used {
+			continue
+		}
+		if lvtMatched && lvt.has[m] {
+			newStride[m] = int64(s.Actual - lvt.vals[m])
+			haveStride[m] = true
+		}
+		if s.WasPredicted {
+			if s.Predicted == s.Actual {
+				anyCorrect = true
+				if bl.altHas && bl.HasLast[m] {
+					altPred := bl.Last[m] + uint64(bl.altStrides[m])
+					if altPred != s.Actual {
+						anyUseful = true
+					}
+				}
+			} else {
+				anyWrong = true
+			}
+		} else {
+			// No prediction available counts as a (cold) miss for
+			// allocation purposes so the block can be learned.
+			anyWrong = true
+		}
+	}
+
+	// Train the providing component's confidence and strides.
+	var provStrides *[MaxNPred]int64
+	var provConf *[MaxNPred]uint8
+	if bl.Provider >= 0 {
+		e := &d.comps[bl.Provider].entries[bl.indices[bl.Provider]]
+		provStrides, provConf = &e.strides, &e.conf
+	} else {
+		provStrides, provConf = &vt0.strides, &vt0.conf
+	}
+	for m := 0; m < d.cfg.NPred; m++ {
+		s := &u.Slots[m]
+		if !s.Used {
+			continue
+		}
+		correct := s.WasPredicted && s.Predicted == s.Actual
+		if correct {
+			provConf[m] = d.fpc.Correct(provConf[m])
+		} else {
+			provConf[m] = d.fpc.Wrong(provConf[m])
+			if haveStride[m] {
+				if st, ok := util.TruncateSigned(newStride[m], d.cfg.StrideBits); ok {
+					provStrides[m] = st
+				} else {
+					d.StrideOverflows++
+					provStrides[m] = 0
+				}
+			}
+		}
+	}
+
+	// Usefulness bit, kept per block for tagged providers.
+	if bl.Provider >= 0 {
+		e := &d.comps[bl.Provider].entries[bl.indices[bl.Provider]]
+		if anyUseful {
+			e.useful = true
+		} else if anyWrong && !anyCorrect {
+			e.useful = false
+		}
+	}
+
+	// Allocate on a wrong prediction in the block (Section III-D(b)).
+	if anyWrong && int(bl.Provider) < len(d.comps)-1 {
+		d.allocate(u, &newStride, &haveStride, provStrides, provConf)
+	}
+
+	// LVT update: write retired values and apply the monotone byte-tag
+	// rule ("a greater tag never replaces a lesser tag", Section II-B1);
+	// the constraint does not apply when the entry is (re)allocated.
+	if !lvtMatched {
+		*lvt = dvtLVTEntry{valid: true, tag: bl.lvtTag}
+		// Fresh VT0 state for a new block mapping.
+		*vt0 = dvtVT0Entry{}
+	}
+	for m := 0; m < d.cfg.NPred; m++ {
+		s := &u.Slots[m]
+		if !s.Used {
+			continue
+		}
+		if lvtMatched && lvt.has[m] && s.ByteTag > lvt.btags[m] {
+			// Monotone rule: keep the lesser stored tag; the value still
+			// tracks the slot's owning instruction, so only update the
+			// value if the tags agree.
+			if s.ByteTag != lvt.btags[m] {
+				continue
+			}
+		}
+		lvt.vals[m] = s.Actual
+		lvt.btags[m] = s.ByteTag
+		lvt.has[m] = true
+	}
+
+	// Periodic graceful usefulness reset.
+	d.tick++
+	if d.tick >= 1<<18 {
+		d.tick = 0
+		for i := range d.comps {
+			for j := range d.comps[i].entries {
+				d.comps[i].entries[j].useful = false
+			}
+		}
+	}
+}
+
+func (d *DVTAGE) allocate(u *UpdateBlock, newStride *[MaxNPred]int64, haveStride *[MaxNPred]bool, provStrides *[MaxNPred]int64, provConf *[MaxNPred]uint8) {
+	bl := &u.Lookup
+	start := int(bl.Provider) + 1
+	free := 0
+	for i := start; i < len(d.comps); i++ {
+		if !d.comps[i].entries[bl.indices[i]].useful {
+			free++
+		}
+	}
+	if free == 0 {
+		for i := start; i < len(d.comps); i++ {
+			d.comps[i].entries[bl.indices[i]].useful = false
+		}
+		return
+	}
+	pick := d.rng.Intn(free)
+	if free > 1 && d.rng.Bool(0.5) {
+		pick = 0
+	}
+	for i := start; i < len(d.comps); i++ {
+		e := &d.comps[i].entries[bl.indices[i]]
+		if e.useful {
+			continue
+		}
+		if pick > 0 {
+			pick--
+			continue
+		}
+		ne := dvtTaggedEntry{tag: bl.tags[i]}
+		for m := 0; m < d.cfg.NPred; m++ {
+			s := &u.Slots[m]
+			correct := s.Used && s.WasPredicted && s.Predicted == s.Actual
+			if correct {
+				// Confidence propagation: duplicate high-confidence
+				// predictions into the new entry to preserve coverage.
+				ne.strides[m] = provStrides[m]
+				ne.conf[m] = provConf[m]
+			} else if s.Used && haveStride[m] {
+				if st, ok := util.TruncateSigned(newStride[m], d.cfg.StrideBits); ok {
+					ne.strides[m] = st
+				} else {
+					d.StrideOverflows++
+				}
+			} else {
+				// Keep the provider's stride as a best guess.
+				ne.strides[m] = provStrides[m]
+			}
+		}
+		*e = ne
+		return
+	}
+}

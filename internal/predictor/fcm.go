@@ -1,0 +1,190 @@
+package predictor
+
+import (
+	"bebop/internal/branch"
+	"bebop/internal/util"
+)
+
+// FCM is an order-n Finite Context Method value predictor (Sazeides &
+// Smith): a first-level Value History Table records the last n values
+// (compressed) per instruction; their hash indexes a second-level Value
+// Prediction Table holding the predicted value. FCM captures arbitrary
+// repeating value sequences but needs two serialized table lookups, giving
+// it the long prediction critical path that makes it impractical for
+// back-to-back prediction in tight loops — the motivation for VTAGE
+// (Section VII-A). It is provided as a baseline for ablations.
+type FCM struct {
+	order int
+	vht   []fcmVHTEntry
+	vpt   []lvEntry
+	fpc   *FPC
+}
+
+type fcmVHTEntry struct {
+	hist uint64 // folded history of the last `order` values
+}
+
+// NewFCM builds an order-n FCM with vhtEntries first-level and vptEntries
+// second-level entries.
+func NewFCM(order, vhtEntries, vptEntries int, fpcSeed uint64) *FCM {
+	if !util.IsPowerOfTwo(vhtEntries) || !util.IsPowerOfTwo(vptEntries) {
+		panic("predictor: FCM table sizes must be powers of two")
+	}
+	if order < 1 {
+		panic("predictor: FCM order must be >= 1")
+	}
+	return &FCM{
+		order: order,
+		vht:   make([]fcmVHTEntry, vhtEntries),
+		vpt:   make([]lvEntry, vptEntries),
+		fpc:   NewFPC(DefaultFPCProbs(), fpcSeed),
+	}
+}
+
+func (f *FCM) Name() string { return "FCM" }
+
+func (f *FCM) vhtIdx(pc uint64, uopIdx int) int32 {
+	return int32(util.Mix64(instKey(pc, uopIdx)) & uint64(len(f.vht)-1))
+}
+
+func (f *FCM) vptIdx(hist uint64) int32 {
+	return int32(util.Mix64(hist) & uint64(len(f.vpt)-1))
+}
+
+// foldValue shifts a compressed value into the order-bounded history
+// window: each of the last `order` values contributes 8 hashed bits, so a
+// periodic value sequence yields a periodic (recurring) context.
+func (f *FCM) foldValue(hist, v uint64) uint64 {
+	return (hist<<8 | util.Mix64(v)&0xFF) & ((1 << (8 * uint(f.order))) - 1)
+}
+
+// Predict implements Predictor. Note the two-level lookup: the VHT read
+// must complete before the VPT index is known.
+func (f *FCM) Predict(pc uint64, uopIdx int, _ *branch.History, _ uint64, _ bool) Outcome {
+	vi := f.vhtIdx(pc, uopIdx)
+	hist := f.vht[vi].hist
+	pi := f.vptIdx(hist)
+	e := &f.vpt[pi]
+	return Outcome{
+		Predicted: true,
+		Confident: f.fpc.Saturated(e.conf),
+		Value:     e.value,
+		baseIdx:   vi,
+		indices:   [8]int32{pi},
+	}
+}
+
+// Update implements Predictor.
+func (f *FCM) Update(o *Outcome, actual uint64) {
+	e := &f.vpt[o.indices[0]]
+	if e.value == actual {
+		e.conf = f.fpc.Correct(e.conf)
+	} else {
+		e.conf = f.fpc.Wrong(e.conf)
+		e.value = actual
+	}
+	v := &f.vht[o.baseIdx]
+	v.hist = f.foldValue(v.hist, actual)
+}
+
+// StorageBits implements Predictor.
+func (f *FCM) StorageBits() int {
+	return len(f.vht)*8*f.order + len(f.vpt)*(64+f.fpc.Bits())
+}
+
+// DFCM is the Differential FCM of Goeman et al.: the VHT records a history
+// of *strides* and the VPT stores the predicted next stride, added to the
+// last value. It hybridizes stride and context prediction the way D-VTAGE
+// does, but inherits FCM's two-level critical path (Section VII-B).
+type DFCM struct {
+	order int
+	vht   []dfcmVHTEntry
+	vpt   []dfcmVPTEntry
+	fpc   *FPC
+}
+
+type dfcmVHTEntry struct {
+	hist uint64
+	last uint64
+	has  bool
+}
+
+type dfcmVPTEntry struct {
+	stride int64
+	conf   uint8
+}
+
+// NewDFCM builds an order-n differential FCM.
+func NewDFCM(order, vhtEntries, vptEntries int, fpcSeed uint64) *DFCM {
+	if !util.IsPowerOfTwo(vhtEntries) || !util.IsPowerOfTwo(vptEntries) {
+		panic("predictor: D-FCM table sizes must be powers of two")
+	}
+	return &DFCM{
+		order: order,
+		vht:   make([]dfcmVHTEntry, vhtEntries),
+		vpt:   make([]dfcmVPTEntry, vptEntries),
+		fpc:   NewFPC(DefaultFPCProbs(), fpcSeed),
+	}
+}
+
+func (f *DFCM) Name() string { return "D-FCM" }
+
+func (f *DFCM) vhtIdx(pc uint64, uopIdx int) int32 {
+	return int32(util.Mix64(instKey(pc, uopIdx)) & uint64(len(f.vht)-1))
+}
+
+func (f *DFCM) vptIdx(hist uint64) int32 {
+	return int32(util.Mix64(hist^0xD5) & uint64(len(f.vpt)-1))
+}
+
+// foldStride shifts a compressed stride into the order-bounded history
+// window (see FCM.foldValue).
+func (f *DFCM) foldStride(hist uint64, s int64) uint64 {
+	return (hist<<8 | util.Mix64(uint64(s))&0xFF) & ((1 << (8 * uint(f.order))) - 1)
+}
+
+// Predict implements Predictor; like all stride-based predictors it uses
+// the speculative last value when one is available.
+func (f *DFCM) Predict(pc uint64, uopIdx int, _ *branch.History, specLast uint64, hasSpecLast bool) Outcome {
+	vi := f.vhtIdx(pc, uopIdx)
+	v := &f.vht[vi]
+	pi := f.vptIdx(v.hist)
+	e := &f.vpt[pi]
+	last := v.last
+	hasLast := v.has
+	if hasSpecLast {
+		last, hasLast = specLast, true
+	}
+	return Outcome{
+		Predicted: hasLast,
+		Confident: hasLast && f.fpc.Saturated(e.conf),
+		Value:     last + uint64(e.stride),
+		baseIdx:   vi,
+		indices:   [8]int32{pi},
+	}
+}
+
+// Update implements Predictor.
+func (f *DFCM) Update(o *Outcome, actual uint64) {
+	v := &f.vht[o.baseIdx]
+	e := &f.vpt[o.indices[0]]
+	if o.Predicted && o.Value == actual {
+		e.conf = f.fpc.Correct(e.conf)
+	} else {
+		e.conf = f.fpc.Wrong(e.conf)
+	}
+	if v.has {
+		stride := int64(actual - v.last)
+		if !o.Predicted || o.Value != actual {
+			e.stride = stride
+		}
+		v.hist = f.foldStride(v.hist, stride)
+	}
+	v.last = actual
+	v.has = true
+}
+
+// StorageBits implements Predictor.
+func (f *DFCM) StorageBits() int {
+	return len(f.vht)*(8*f.order+64+1) + len(f.vpt)*(64+f.fpc.Bits())
+}

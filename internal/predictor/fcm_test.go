@@ -1,0 +1,97 @@
+package predictor
+
+import "testing"
+
+func TestFCMLearnsRepeatingSequence(t *testing.T) {
+	// A period-4 value sequence with no stride structure: FCM captures it
+	// through value history context.
+	p := NewFCM(4, 1024, 8192, 1)
+	seq := []uint64{11, 77, 33, 99}
+	gen := func(i int) uint64 { return seq[i%len(seq)] }
+	uc, used := trainInst(p, 0x400100, 4000, 800, gen, nil)
+	if used < 600 {
+		t.Fatalf("FCM failed a periodic sequence: used %d/800", used)
+	}
+	if float64(uc)/float64(used) < 0.98 {
+		t.Fatalf("FCM inaccurate: %d/%d", uc, used)
+	}
+}
+
+func TestLVPCannotLearnPeriodicSequence(t *testing.T) {
+	p := NewLastValue(8192, 1)
+	seq := []uint64{11, 77, 33, 99}
+	_, used := trainInst(p, 0x400100, 4000, 800, func(i int) uint64 { return seq[i%len(seq)] }, nil)
+	if used > 10 {
+		t.Fatalf("LVP should not predict a period-4 sequence, used %d", used)
+	}
+}
+
+func TestFCMMissesFreshStrides(t *testing.T) {
+	// An ever-growing stride series never repeats a context: plain FCM
+	// cannot predict it (this is what D-FCM fixes).
+	p := NewFCM(4, 1024, 8192, 1)
+	_, used := trainInst(p, 0x400100, 3000, 600, func(i int) uint64 { return uint64(i) * 8 }, nil)
+	if used > 15 {
+		t.Fatalf("FCM 'predicted' a non-repeating stride series %d times", used)
+	}
+}
+
+func TestDFCMLearnsStride(t *testing.T) {
+	p := NewDFCM(4, 1024, 8192, 1)
+	uc, used := trainInst(p, 0x400100, 3000, 600, func(i int) uint64 { return uint64(i) * 8 }, nil)
+	if used < 500 || float64(uc)/float64(used) < 0.98 {
+		t.Fatalf("D-FCM stride: %d/%d", uc, used)
+	}
+}
+
+func TestDFCMLearnsStridePattern(t *testing.T) {
+	// Alternating strides +2, +10: the stride history context
+	// distinguishes the two positions.
+	p := NewDFCM(4, 1024, 8192, 1)
+	cur := uint64(0)
+	gen := func(i int) uint64 {
+		if i%2 == 0 {
+			cur += 2
+		} else {
+			cur += 10
+		}
+		return cur
+	}
+	uc, used := trainInst(p, 0x400100, 6000, 1000, gen, nil)
+	if used < 700 || float64(uc)/float64(used) < 0.97 {
+		t.Fatalf("D-FCM stride pattern: %d/%d", uc, used)
+	}
+}
+
+func TestFCMStorage(t *testing.T) {
+	p := NewFCM(4, 1024, 8192, 1)
+	want := 1024*32 + 8192*67
+	if got := p.StorageBits(); got != want {
+		t.Fatalf("FCM storage %d, want %d", got, want)
+	}
+}
+
+func TestDFCMStorage(t *testing.T) {
+	p := NewDFCM(4, 1024, 8192, 1)
+	want := 1024*(32+64+1) + 8192*67
+	if got := p.StorageBits(); got != want {
+		t.Fatalf("D-FCM storage %d, want %d", got, want)
+	}
+}
+
+func TestFCMPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewFCM(0, 1024, 1024, 1) },
+		func() { NewFCM(4, 1000, 1024, 1) },
+		func() { NewDFCM(4, 1024, 1000, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad FCM config must panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

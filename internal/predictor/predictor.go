@@ -1,0 +1,71 @@
+// Package predictor implements the value predictors evaluated in the
+// paper: the baseline Last Value and Stride predictors, the 2-delta Stride
+// predictor, VTAGE (Perais & Seznec, HPCA 2014), a naive VTAGE + 2-delta
+// Stride hybrid, and the paper's contribution, the Differential VTAGE
+// (D-VTAGE) predictor, in both per-instruction and block-based (BeBoP)
+// organizations.
+//
+// All predictors share the Forward Probabilistic Counter confidence scheme
+// (3-bit counters incremented probabilistically, reset on a wrong
+// prediction; a prediction is used only when its counter is saturated),
+// which is what lets value prediction reach the >99.5% accuracy required
+// by squash-based recovery.
+package predictor
+
+import "bebop/internal/branch"
+
+// MaxNPred bounds predictions per block entry; the paper sweeps 4, 6, 8.
+const MaxNPred = 8
+
+// Outcome is the result of one per-instruction prediction lookup, carrying
+// enough prediction-time metadata (table indices and tags) that the
+// predictor can be trained at retire time without re-reading the branch
+// history. This plays the role of the paper's FIFO update queue payload
+// for the per-instruction predictors of Section VI-A.
+type Outcome struct {
+	// Predicted reports whether any table provided a value.
+	Predicted bool
+	// Confident reports whether the providing confidence counter was
+	// saturated; only confident predictions are written to the PRF.
+	Confident bool
+	// Value is the predicted value (meaningful when Predicted).
+	Value uint64
+
+	// prediction-time metadata, opaque to callers
+	provider int8 // tagged component index, -1 = base
+	baseIdx  int32
+	indices  [8]int32
+	tags     [8]uint32
+	lastUsed uint64 // last value the prediction added its stride to
+	hasLast  bool
+	stride   int64
+	altValue uint64
+	altPred  bool
+	aux2     uint64 // spare meta slots used by hybrid predictors
+	aux3     uint64
+}
+
+// Predictor is a per-instruction value predictor as evaluated in Section
+// VI-A (no BeBoP): it is indexed with the instruction PC XORed with the
+// µ-op index (Section V-B) and an idealistic, instruction-grained
+// speculative window supplies specLast, the value produced by the most
+// recent (possibly in-flight) instance.
+type Predictor interface {
+	// Name identifies the predictor in reports.
+	Name() string
+	// Predict performs the lookup for µ-op uopIdx of the instruction at pc.
+	Predict(pc uint64, uopIdx int, hist *branch.History, specLast uint64, hasSpecLast bool) Outcome
+	// Update trains the predictor with the architectural value; called in
+	// retire order with the Outcome returned by Predict.
+	Update(o *Outcome, actual uint64)
+	// StorageBits returns the total storage budget in bits.
+	StorageBits() int
+}
+
+// instKey folds the instruction PC and µ-op index into the effective PC
+// used to index per-instruction predictors, mirroring the paper: "we XOR
+// the PC of the x86_64 instruction with the µ-op index inside that
+// instruction".
+func instKey(pc uint64, uopIdx int) uint64 {
+	return pc ^ uint64(uopIdx)<<60 ^ uint64(uopIdx)
+}

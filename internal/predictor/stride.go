@@ -1,0 +1,196 @@
+package predictor
+
+import (
+	"bebop/internal/branch"
+	"bebop/internal/util"
+)
+
+// LastValue is the classic tagless Last Value Predictor (Lipasti et al.):
+// it predicts that an instruction produces the same value as its previous
+// instance. It is also the base component of VTAGE.
+type LastValue struct {
+	entries []lvEntry
+	fpc     *FPC
+}
+
+type lvEntry struct {
+	value uint64
+	conf  uint8
+}
+
+// NewLastValue builds an n-entry last value predictor.
+func NewLastValue(n int, fpcSeed uint64) *LastValue {
+	if !util.IsPowerOfTwo(n) {
+		panic("predictor: table size must be a power of two")
+	}
+	return &LastValue{entries: make([]lvEntry, n), fpc: NewFPC(DefaultFPCProbs(), fpcSeed)}
+}
+
+func (l *LastValue) Name() string { return "LVP" }
+
+func (l *LastValue) idx(pc uint64, uopIdx int) int32 {
+	return int32(util.Mix64(instKey(pc, uopIdx)) & uint64(len(l.entries)-1))
+}
+
+// Predict implements Predictor.
+func (l *LastValue) Predict(pc uint64, uopIdx int, _ *branch.History, _ uint64, _ bool) Outcome {
+	i := l.idx(pc, uopIdx)
+	e := &l.entries[i]
+	return Outcome{
+		Predicted: true,
+		Confident: l.fpc.Saturated(e.conf),
+		Value:     e.value,
+		baseIdx:   i,
+	}
+}
+
+// Update implements Predictor.
+func (l *LastValue) Update(o *Outcome, actual uint64) {
+	e := &l.entries[o.baseIdx]
+	if e.value == actual {
+		e.conf = l.fpc.Correct(e.conf)
+	} else {
+		e.conf = l.fpc.Wrong(e.conf)
+		e.value = actual
+	}
+}
+
+// StorageBits implements Predictor.
+func (l *LastValue) StorageBits() int {
+	return len(l.entries) * (64 + l.fpc.Bits())
+}
+
+// Stride is the baseline stride predictor (Eickemeyer & Vassiliadis): it
+// predicts lastValue + stride where stride is the most recent difference
+// between successive values.
+type Stride struct {
+	entries []strideEntry
+	fpc     *FPC
+}
+
+type strideEntry struct {
+	last   uint64
+	stride int64
+	conf   uint8
+}
+
+// NewStride builds an n-entry baseline stride predictor.
+func NewStride(n int, fpcSeed uint64) *Stride {
+	if !util.IsPowerOfTwo(n) {
+		panic("predictor: table size must be a power of two")
+	}
+	return &Stride{entries: make([]strideEntry, n), fpc: NewFPC(DefaultFPCProbs(), fpcSeed)}
+}
+
+func (s *Stride) Name() string { return "Stride" }
+
+func (s *Stride) idx(pc uint64, uopIdx int) int32 {
+	return int32(util.Mix64(instKey(pc, uopIdx)) & uint64(len(s.entries)-1))
+}
+
+// Predict implements Predictor. Stride-based predictors must add their
+// stride to the value of the most recent instance, which may still be in
+// flight: the caller supplies it via specLast (the speculative window).
+func (s *Stride) Predict(pc uint64, uopIdx int, _ *branch.History, specLast uint64, hasSpecLast bool) Outcome {
+	i := s.idx(pc, uopIdx)
+	e := &s.entries[i]
+	last := e.last
+	if hasSpecLast {
+		last = specLast
+	}
+	return Outcome{
+		Predicted: true,
+		Confident: s.fpc.Saturated(e.conf),
+		Value:     last + uint64(e.stride),
+		baseIdx:   i,
+		lastUsed:  last,
+		stride:    e.stride,
+	}
+}
+
+// Update implements Predictor.
+func (s *Stride) Update(o *Outcome, actual uint64) {
+	e := &s.entries[o.baseIdx]
+	if o.Value == actual {
+		e.conf = s.fpc.Correct(e.conf)
+	} else {
+		e.conf = s.fpc.Wrong(e.conf)
+	}
+	newStride := int64(actual - e.last)
+	e.stride = newStride
+	e.last = actual
+}
+
+// StorageBits implements Predictor.
+func (s *Stride) StorageBits() int {
+	return len(s.entries) * (64 + 64 + s.fpc.Bits())
+}
+
+// TwoDeltaStride is the 2-delta stride predictor: the predicting stride is
+// only replaced when the same new stride is observed twice in a row, which
+// filters one-off discontinuities (end of a loop, a reset iteration).
+// This is the "2d-Stride" baseline of Fig. 5(a).
+type TwoDeltaStride struct {
+	entries []twoDeltaEntry
+	fpc     *FPC
+}
+
+type twoDeltaEntry struct {
+	last    uint64
+	stride1 int64 // most recent observed delta
+	stride2 int64 // predicting stride
+	conf    uint8
+}
+
+// NewTwoDeltaStride builds an n-entry 2-delta stride predictor.
+func NewTwoDeltaStride(n int, fpcSeed uint64) *TwoDeltaStride {
+	if !util.IsPowerOfTwo(n) {
+		panic("predictor: table size must be a power of two")
+	}
+	return &TwoDeltaStride{entries: make([]twoDeltaEntry, n), fpc: NewFPC(DefaultFPCProbs(), fpcSeed)}
+}
+
+func (s *TwoDeltaStride) Name() string { return "2d-Stride" }
+
+func (s *TwoDeltaStride) idx(pc uint64, uopIdx int) int32 {
+	return int32(util.Mix64(instKey(pc, uopIdx)) & uint64(len(s.entries)-1))
+}
+
+// Predict implements Predictor.
+func (s *TwoDeltaStride) Predict(pc uint64, uopIdx int, _ *branch.History, specLast uint64, hasSpecLast bool) Outcome {
+	i := s.idx(pc, uopIdx)
+	e := &s.entries[i]
+	last := e.last
+	if hasSpecLast {
+		last = specLast
+	}
+	return Outcome{
+		Predicted: true,
+		Confident: s.fpc.Saturated(e.conf),
+		Value:     last + uint64(e.stride2),
+		baseIdx:   i,
+		lastUsed:  last,
+		stride:    e.stride2,
+	}
+}
+
+// Update implements Predictor.
+func (s *TwoDeltaStride) Update(o *Outcome, actual uint64) {
+	e := &s.entries[o.baseIdx]
+	if o.Value == actual {
+		e.conf = s.fpc.Correct(e.conf)
+	} else {
+		e.conf = s.fpc.Wrong(e.conf)
+	}
+	newStride := int64(actual - e.last)
+	if newStride == e.stride1 {
+		e.stride2 = newStride
+	}
+	e.stride1 = newStride
+	e.last = actual
+}
+
+// StorageBits implements Predictor.
+func (s *TwoDeltaStride) StorageBits() int {
+	return len(s.entries) * (64 + 64 + 64 + s.fpc.Bits())
+}

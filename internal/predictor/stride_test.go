@@ -1,0 +1,156 @@
+package predictor
+
+import (
+	"testing"
+
+	"bebop/internal/branch"
+)
+
+func TestLastValueLearnsConstant(t *testing.T) {
+	p := NewLastValue(1024, 1)
+	uc, used := trainInst(p, 0x400100, 400, 100, func(i int) uint64 { return 0xDEAD }, nil)
+	if used < 90 {
+		t.Fatalf("constant value not confidently predicted: used %d/100", used)
+	}
+	if uc != used {
+		t.Fatalf("constant predictions wrong: %d/%d", uc, used)
+	}
+}
+
+func TestLastValueMissesStride(t *testing.T) {
+	p := NewLastValue(1024, 1)
+	_, used := trainInst(p, 0x400100, 400, 100, func(i int) uint64 { return uint64(i) * 8 }, nil)
+	if used > 5 {
+		t.Fatalf("LVP should not confidently predict a strided series, used %d", used)
+	}
+}
+
+func TestStrideLearnsStride(t *testing.T) {
+	p := NewStride(1024, 1)
+	uc, used := trainInst(p, 0x400100, 400, 100, func(i int) uint64 { return uint64(i) * 8 }, nil)
+	if used < 90 {
+		t.Fatalf("stride predictor failed on a strided series: used %d/100", used)
+	}
+	if uc != used {
+		t.Fatalf("stride predictions wrong: %d/%d", uc, used)
+	}
+}
+
+func TestStrideUsesSpeculativeLast(t *testing.T) {
+	p := NewStride(1024, 1)
+	var h branch.History
+	// Train stride 8 with in-order updates.
+	var o Outcome
+	for i := 0; i < 300; i++ {
+		o = p.Predict(0x100, 0, &h, 0, false)
+		p.Update(&o, uint64(i)*8)
+	}
+	// Now predict with a speculative last value: the prediction must be
+	// specLast + 8, not table.last + 8.
+	o = p.Predict(0x100, 0, &h, 1_000_000, true)
+	if o.Value != 1_000_008 {
+		t.Fatalf("speculative last ignored: got %d", o.Value)
+	}
+}
+
+func TestTwoDeltaFiltersOneOffBreak(t *testing.T) {
+	// Series: stride 8 with a single discontinuity. 2-delta must keep
+	// predicting stride 8 after the break without retraining from zero;
+	// the baseline stride predictor changes its stride immediately.
+	gen := func(i int) uint64 {
+		base := uint64(i) * 8
+		if i >= 200 {
+			base += 10_000 // one jump at i=200, stride 8 resumes after
+		}
+		return base
+	}
+	two := NewTwoDeltaStride(1024, 1)
+	ucT, usedT := trainInst(two, 0x400100, 400, 150, gen, nil)
+	if usedT < 100 || ucT < usedT-5 {
+		t.Fatalf("2-delta did not recover from a one-off break: %d/%d", ucT, usedT)
+	}
+}
+
+func TestTwoDeltaNeedsStrideTwice(t *testing.T) {
+	p := NewTwoDeltaStride(1024, 1)
+	var h branch.History
+	// Observe values 0, 8 (one delta of 8): stride2 must still be 0
+	// because the delta has not repeated.
+	o := p.Predict(0x100, 0, &h, 0, false)
+	p.Update(&o, 0)
+	o = p.Predict(0x100, 0, &h, 0, true)
+	p.Update(&o, 8)
+	o = p.Predict(0x100, 0, &h, 8, true)
+	if o.Value != 8 {
+		t.Fatalf("stride adopted after a single observation: predicted %d, want last+0", o.Value)
+	}
+}
+
+func TestStrideNegative(t *testing.T) {
+	p := NewTwoDeltaStride(1024, 1)
+	uc, used := trainInst(p, 0x400100, 400, 100, func(i int) uint64 { return uint64(1_000_000 - i*16) }, nil)
+	if used < 90 || uc != used {
+		t.Fatalf("negative stride failed: %d/%d used", uc, used)
+	}
+}
+
+func TestPredictorsRejectRandom(t *testing.T) {
+	rng := newTestRNG(17)
+	gen := func(i int) uint64 { return rng.Uint64() }
+	for _, p := range []Predictor{
+		NewLastValue(1024, 1), NewStride(1024, 2), NewTwoDeltaStride(1024, 3),
+	} {
+		_, used := trainInst(p, 0x400100, 600, 200, gen, nil)
+		if used > 4 {
+			t.Fatalf("%s confidently predicted random values %d times", p.Name(), used)
+		}
+	}
+}
+
+func TestDistinctUopsDistinctEntries(t *testing.T) {
+	p := NewStride(8192, 1)
+	var h branch.History
+	// Two µ-ops of the same instruction train different series; both must
+	// be predictable (they must not alias to one entry).
+	var o0, o1 Outcome
+	for i := 0; i < 300; i++ {
+		o0 = p.Predict(0x100, 0, &h, 0, false)
+		p.Update(&o0, uint64(i)*4)
+		o1 = p.Predict(0x100, 1, &h, 0, false)
+		p.Update(&o1, uint64(i)*12)
+	}
+	o0 = p.Predict(0x100, 0, &h, 0, false)
+	o1 = p.Predict(0x100, 1, &h, 0, false)
+	if o0.Value == o1.Value {
+		t.Fatal("µ-op index not separating predictor entries")
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	if NewLastValue(1024, 1).StorageBits() != 1024*(64+3) {
+		t.Fatal("LVP storage accounting wrong")
+	}
+	if NewStride(1024, 1).StorageBits() != 1024*(64+64+3) {
+		t.Fatal("stride storage accounting wrong")
+	}
+	if NewTwoDeltaStride(1024, 1).StorageBits() != 1024*(64+64+64+3) {
+		t.Fatal("2-delta storage accounting wrong")
+	}
+}
+
+func TestPanicsOnBadSizes(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLastValue(1000, 1) },
+		func() { NewStride(1000, 1) },
+		func() { NewTwoDeltaStride(1000, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("non-power-of-two size must panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

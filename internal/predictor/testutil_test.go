@@ -1,0 +1,35 @@
+package predictor
+
+import (
+	"bebop/internal/branch"
+	"bebop/internal/util"
+)
+
+// newTestRNG gives tests a deterministic random source.
+func newTestRNG(seed uint64) *util.RNG { return util.NewRNG(seed) }
+
+// trainInst drives one (pc, uopIdx) through predict+update n times with
+// values from gen(i), returning how many of the last lastK predictions
+// were confident AND correct. hist may be advanced by the caller between
+// steps via branches().
+func trainInst(p Predictor, pc uint64, n, lastK int, gen func(i int) uint64, branches func(i int, h *branch.History)) (usedCorrect, used int) {
+	var h branch.History
+	var prev uint64
+	hasPrev := false
+	for i := 0; i < n; i++ {
+		if branches != nil {
+			branches(i, &h)
+		}
+		o := p.Predict(pc, 0, &h, prev, hasPrev)
+		actual := gen(i)
+		if i >= n-lastK && o.Predicted && o.Confident {
+			used++
+			if o.Value == actual {
+				usedCorrect++
+			}
+		}
+		p.Update(&o, actual)
+		prev, hasPrev = actual, true
+	}
+	return usedCorrect, used
+}

@@ -1,0 +1,332 @@
+package predictor
+
+import (
+	"bebop/internal/branch"
+	"bebop/internal/util"
+)
+
+// VTAGEConfig sizes a VTAGE predictor (Perais & Seznec, HPCA 2014): a
+// tagless last-value base table and NumComps partially tagged components
+// indexed with a hash of the PC, the global branch history and the path
+// history, with geometrically growing history lengths.
+type VTAGEConfig struct {
+	BaseEntries int
+	CompEntries int
+	NumComps    int
+	HistLens    []int // per component; geometric 2..64 by default
+	TagBitsLo   int   // tag width of component 0; +1 per component
+	FPCProbs    []int
+	Seed        uint64
+}
+
+// DefaultVTAGEConfig is the configuration of Section V-B transposed from
+// [25]: an 8K-entry base component and six 1K-entry tagged components,
+// partial tags 13..18 bits, history lengths 2..64 geometric.
+func DefaultVTAGEConfig() VTAGEConfig {
+	return VTAGEConfig{
+		BaseEntries: 8192,
+		CompEntries: 1024,
+		NumComps:    6,
+		HistLens:    []int{2, 4, 8, 16, 32, 64},
+		TagBitsLo:   13,
+		FPCProbs:    DefaultFPCProbs(),
+		Seed:        0x57A6E,
+	}
+}
+
+// VTAGE is the per-instruction VTAGE value predictor: a direct application
+// of the TAGE branch predictor to value prediction. The base component is a
+// tagless last value predictor; each tagged component is a gshare-like
+// value table using a different global history length.
+type VTAGE struct {
+	cfg   VTAGEConfig
+	base  []lvEntry
+	comps []vtageComp
+	fpc   *FPC
+	rng   *util.RNG
+	tick  int
+}
+
+type vtageComp struct {
+	entries []vtageEntry
+	histLen int
+	tagBits int
+	idxBits int
+}
+
+type vtageEntry struct {
+	value  uint64
+	tag    uint32
+	conf   uint8
+	useful bool
+}
+
+// NewVTAGE builds a VTAGE predictor.
+func NewVTAGE(cfg VTAGEConfig) *VTAGE {
+	if !util.IsPowerOfTwo(cfg.BaseEntries) || !util.IsPowerOfTwo(cfg.CompEntries) {
+		panic("predictor: VTAGE table sizes must be powers of two")
+	}
+	if len(cfg.HistLens) != cfg.NumComps {
+		panic("predictor: VTAGE needs one history length per component")
+	}
+	v := &VTAGE{
+		cfg:  cfg,
+		base: make([]lvEntry, cfg.BaseEntries),
+		fpc:  NewFPC(cfg.FPCProbs, cfg.Seed),
+		rng:  util.NewRNG(cfg.Seed ^ 0xC0FFEE),
+	}
+	idxBits := util.Log2(cfg.CompEntries)
+	for i := 0; i < cfg.NumComps; i++ {
+		v.comps = append(v.comps, vtageComp{
+			entries: make([]vtageEntry, cfg.CompEntries),
+			histLen: cfg.HistLens[i],
+			tagBits: cfg.TagBitsLo + i,
+			idxBits: idxBits,
+		})
+	}
+	return v
+}
+
+func (v *VTAGE) Name() string { return "VTAGE" }
+
+func (c *vtageComp) index(key uint64, h *branch.History) int32 {
+	folded := h.Fold(c.histLen, c.idxBits)
+	pathFold := util.FoldBits(h.Path(), 16, c.idxBits)
+	return int32((util.Mix64(key) ^ folded ^ pathFold<<1) & uint64(len(c.entries)-1))
+}
+
+func (c *vtageComp) tagOf(key uint64, h *branch.History) uint32 {
+	f1 := h.Fold(c.histLen, c.tagBits)
+	f2 := h.Fold(c.histLen, c.tagBits-1)
+	return uint32((util.Mix64(key^0x9E37) ^ f1 ^ f2<<1) & ((uint64(1) << c.tagBits) - 1))
+}
+
+// Predict implements Predictor. VTAGE ignores the speculative last value:
+// its predictions never depend on in-flight results, one of its key
+// implementation advantages (Section III-B).
+func (v *VTAGE) Predict(pc uint64, uopIdx int, hist *branch.History, _ uint64, _ bool) Outcome {
+	key := instKey(pc, uopIdx)
+	var o Outcome
+	o.provider = -1
+	o.baseIdx = int32(util.Mix64(key) & uint64(len(v.base)-1))
+	for i := range v.comps {
+		c := &v.comps[i]
+		o.indices[i] = c.index(key, hist)
+		o.tags[i] = c.tagOf(key, hist)
+	}
+	// Longest-history hit provides; remember the next-longest as alternate
+	// for the usefulness computation.
+	for i := len(v.comps) - 1; i >= 0; i-- {
+		e := &v.comps[i].entries[o.indices[i]]
+		if e.tag == o.tags[i] {
+			if o.provider == -1 {
+				o.provider = int8(i)
+				o.Predicted = true
+				o.Value = e.value
+				o.Confident = v.fpc.Saturated(e.conf)
+			} else {
+				o.altPred = true
+				o.altValue = e.value
+				break
+			}
+		}
+	}
+	if o.provider == -1 {
+		be := &v.base[o.baseIdx]
+		o.Predicted = true
+		o.Value = be.value
+		o.Confident = v.fpc.Saturated(be.conf)
+	} else if !o.altPred {
+		// Alternate is the base prediction.
+		o.altPred = true
+		o.altValue = v.base[o.baseIdx].value
+	}
+	return o
+}
+
+// Update implements Predictor, following the VTAGE update policy: update
+// the provider; on a wrong prediction allocate in a higher component; keep
+// a usefulness bit driving allocation victim choice; periodically reset
+// usefulness.
+func (v *VTAGE) Update(o *Outcome, actual uint64) {
+	correct := o.Value == actual
+	if o.provider >= 0 {
+		e := &v.comps[o.provider].entries[o.indices[o.provider]]
+		if correct {
+			e.conf = v.fpc.Correct(e.conf)
+			// Useful iff correct and the alternate prediction differs.
+			if o.altPred && o.altValue != actual {
+				e.useful = true
+			}
+		} else {
+			e.conf = v.fpc.Wrong(e.conf)
+			e.value = actual
+			if o.altPred && o.altValue == actual {
+				e.useful = false
+			}
+		}
+	} else {
+		be := &v.base[o.baseIdx]
+		if correct {
+			be.conf = v.fpc.Correct(be.conf)
+		} else {
+			be.conf = v.fpc.Wrong(be.conf)
+			be.value = actual
+		}
+	}
+	if !correct && int(o.provider) < len(v.comps)-1 {
+		v.allocate(o, actual)
+	}
+	v.tick++
+	if v.tick >= 1<<18 {
+		v.tick = 0
+		for i := range v.comps {
+			for j := range v.comps[i].entries {
+				v.comps[i].entries[j].useful = false
+			}
+		}
+	}
+}
+
+func (v *VTAGE) allocate(o *Outcome, actual uint64) {
+	start := int(o.provider) + 1
+	free := 0
+	for i := start; i < len(v.comps); i++ {
+		if !v.comps[i].entries[o.indices[i]].useful {
+			free++
+		}
+	}
+	if free == 0 {
+		// All useful: reset them, allocate nothing (Section III-A).
+		for i := start; i < len(v.comps); i++ {
+			v.comps[i].entries[o.indices[i]].useful = false
+		}
+		return
+	}
+	pick := v.rng.Intn(free)
+	if free > 1 && v.rng.Bool(0.5) {
+		pick = 0
+	}
+	for i := start; i < len(v.comps); i++ {
+		e := &v.comps[i].entries[o.indices[i]]
+		if e.useful {
+			continue
+		}
+		if pick == 0 {
+			*e = vtageEntry{value: actual, tag: o.tags[i]}
+			return
+		}
+		pick--
+	}
+}
+
+// StorageBits implements Predictor.
+func (v *VTAGE) StorageBits() int {
+	bits := len(v.base) * (64 + v.fpc.Bits())
+	for i := range v.comps {
+		c := &v.comps[i]
+		bits += len(c.entries) * (64 + c.tagBits + v.fpc.Bits() + 1)
+	}
+	return bits
+}
+
+// VTAGE2dStride is the naive hybrid of Fig. 5(a): a VTAGE and a 2-delta
+// Stride predictor side by side, both trained for every instruction, with
+// a simple confidence-based arbitration (never predict when both are
+// confident but disagree). Its space inefficiency is the motivation for
+// D-VTAGE (Section III-B).
+type VTAGE2dStride struct {
+	V *VTAGE
+	S *TwoDeltaStride
+}
+
+// NewVTAGE2dStride builds the hybrid with the given component sizes.
+func NewVTAGE2dStride(vcfg VTAGEConfig, strideEntries int) *VTAGE2dStride {
+	return &VTAGE2dStride{
+		V: NewVTAGE(vcfg),
+		S: NewTwoDeltaStride(strideEntries, vcfg.Seed^0x5712DE),
+	}
+}
+
+func (h *VTAGE2dStride) Name() string { return "VTAGE-2d-Stride" }
+
+// hybridOutcome packs both component outcomes; the exported Outcome fields
+// reflect the arbitration result and the component outcomes ride along in
+// the meta fields via a side table would cost allocations, so instead we
+// re-derive them at update time: both components are deterministic given
+// their stored indices, which we keep by re-running Predict piecewise.
+// To stay allocation-free the hybrid stores the stride outcome's fields in
+// the spare meta slots of the VTAGE outcome.
+func (h *VTAGE2dStride) Predict(pc uint64, uopIdx int, hist *branch.History, specLast uint64, hasSpecLast bool) Outcome {
+	vo := h.V.Predict(pc, uopIdx, hist, specLast, hasSpecLast)
+	so := h.S.Predict(pc, uopIdx, hist, specLast, hasSpecLast)
+	var out Outcome
+	// Arbitration: prefer VTAGE when confident (context-based predictions
+	// are strictly more precise); fall back to stride; never predict when
+	// both confident and disagreeing.
+	switch {
+	case vo.Confident && so.Confident && vo.Value != so.Value:
+		out.Predicted = true
+		out.Confident = false
+		out.Value = vo.Value
+	case vo.Confident:
+		out = vo
+		out.Predicted = true
+	case so.Confident:
+		out.Predicted = true
+		out.Confident = true
+		out.Value = so.Value
+	default:
+		out.Predicted = true
+		out.Confident = false
+		out.Value = vo.Value
+	}
+	// Stash both component metas for update: VTAGE meta in dedicated
+	// fields, stride meta in the spare slots.
+	out.provider = vo.provider
+	out.baseIdx = vo.baseIdx
+	out.indices = vo.indices
+	out.tags = vo.tags
+	out.altPred = vo.altPred
+	out.altValue = vo.altValue
+	out.indices[7] = so.baseIdx    // stride entry index
+	out.tags[7] = uint32(vo.Value) // low bits; full VTAGE value below
+	out.lastUsed = so.lastUsed
+	out.stride = so.stride
+	out.hasLast = true
+	// Keep full component predictions for correctness checks at update.
+	out.tags[6] = uint32(vo.Value >> 32)
+	out.aux2 = vo.Value
+	out.aux3 = so.Value
+	return out
+}
+
+// Update implements Predictor: both components are trained for every
+// instruction, which is exactly the storage inefficiency the paper calls
+// out.
+func (h *VTAGE2dStride) Update(o *Outcome, actual uint64) {
+	vo := Outcome{
+		Predicted: true,
+		Value:     o.aux2,
+		provider:  o.provider,
+		baseIdx:   o.baseIdx,
+		indices:   o.indices,
+		tags:      o.tags,
+		altPred:   o.altPred,
+		altValue:  o.altValue,
+	}
+	h.V.Update(&vo, actual)
+	so := Outcome{
+		Predicted: true,
+		Value:     o.aux3,
+		baseIdx:   o.indices[7],
+		lastUsed:  o.lastUsed,
+		stride:    o.stride,
+	}
+	h.S.Update(&so, actual)
+}
+
+// StorageBits implements Predictor.
+func (h *VTAGE2dStride) StorageBits() int {
+	return h.V.StorageBits() + h.S.StorageBits()
+}

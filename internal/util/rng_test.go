@@ -1,0 +1,163 @@
+package util
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRNGZeroSeedRemapped(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at the xorshift fixed point")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if mean < 0.48 || mean > 0.52 {
+		t.Fatalf("Float64 mean %v far from 0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(13)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.23 || frac > 0.27 {
+		t.Fatalf("Bool(0.25) fired %.3f of the time", frac)
+	}
+}
+
+func TestOneInAlwaysForOne(t *testing.T) {
+	r := NewRNG(17)
+	for i := 0; i < 100; i++ {
+		if !r.OneIn(1) {
+			t.Fatal("OneIn(1) must always be true")
+		}
+	}
+}
+
+func TestOneInSixteenRate(t *testing.T) {
+	r := NewRNG(19)
+	hits := 0
+	const n = 160000
+	for i := 0; i < n; i++ {
+		if r.OneIn(16) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.055 || frac > 0.070 {
+		t.Fatalf("OneIn(16) fired %.4f of the time, want ~0.0625", frac)
+	}
+}
+
+func TestForkDecorrelates(t *testing.T) {
+	a := NewRNG(23)
+	f := a.Fork()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == f.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked stream correlates with parent (%d/100 equal)", same)
+	}
+}
+
+func TestUint64BitsUniform(t *testing.T) {
+	// Property: each of the 64 bits should be set roughly half the time.
+	r := NewRNG(29)
+	var counts [64]int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Uint64()
+		for b := 0; b < 64; b++ {
+			if v>>b&1 == 1 {
+				counts[b]++
+			}
+		}
+	}
+	for b, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.45 || frac > 0.55 {
+			t.Fatalf("bit %d set %.3f of the time", b, frac)
+		}
+	}
+}
+
+func TestQuickIntnInRange(t *testing.T) {
+	r := NewRNG(31)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package util
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GeometricMean returns the geometric mean of xs. It returns 0 for an empty
+// slice and panics if any value is non-positive (speedups are ratios and
+// must be positive).
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("util: GeometricMean of non-positive value %g", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Summary is the [Min,Q1,Median,Q3,Max] box-plot summary plus the geometric
+// mean, matching how the paper reports sweep results (gmean on top of a
+// [Min,Max]/quartile box plot, Fig. 6 and Fig. 7).
+type Summary struct {
+	Min, Q1, Median, Q3, Max float64
+	GMean                    float64
+	N                        int
+}
+
+// Summarize computes the five-number summary and geometric mean of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return Summary{
+		Min:    s[0],
+		Q1:     quantile(s, 0.25),
+		Median: quantile(s, 0.5),
+		Q3:     quantile(s, 0.75),
+		Max:    s[len(s)-1],
+		GMean:  GeometricMean(xs),
+		N:      len(xs),
+	}
+}
+
+// quantile returns the q-quantile of sorted data using linear interpolation
+// between closest ranks (the same method as numpy's default).
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary as a single human-readable line.
+func (s Summary) String() string {
+	return fmt.Sprintf("min=%.3f q1=%.3f med=%.3f q3=%.3f max=%.3f gmean=%.3f (n=%d)",
+		s.Min, s.Q1, s.Median, s.Q3, s.Max, s.GMean, s.N)
+}
+
+// KB renders a bit count as kilobytes with two decimals, the unit the paper
+// uses for predictor storage budgets (Table III).
+func KB(bits int) string {
+	return fmt.Sprintf("%.2fKB", float64(bits)/8/1024)
+}
+
+// BitsToKB converts a storage size in bits to kilobytes.
+func BitsToKB(bits int) float64 {
+	return float64(bits) / 8 / 1024
+}

@@ -1,0 +1,136 @@
+package util
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGeometricMeanSimple(t *testing.T) {
+	if g := GeometricMean([]float64{2, 8}); !almostEq(g, 4) {
+		t.Fatalf("gmean(2,8) = %v, want 4", g)
+	}
+}
+
+func TestGeometricMeanSingleton(t *testing.T) {
+	if g := GeometricMean([]float64{3.7}); !almostEq(g, 3.7) {
+		t.Fatalf("gmean(3.7) = %v", g)
+	}
+}
+
+func TestGeometricMeanEmpty(t *testing.T) {
+	if g := GeometricMean(nil); g != 0 {
+		t.Fatalf("gmean(empty) = %v, want 0", g)
+	}
+}
+
+func TestGeometricMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gmean of 0 did not panic")
+		}
+	}()
+	GeometricMean([]float64{1, 0})
+}
+
+func TestGeometricMeanAtMostArithmetic(t *testing.T) {
+	// AM-GM inequality as a property test.
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a%100) + 1, float64(b%100) + 1, float64(c%100) + 1}
+		am := (xs[0] + xs[1] + xs[2]) / 3
+		return GeometricMean(xs) <= am+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeOrdering(t *testing.T) {
+	s := Summarize([]float64{0.9, 1.0, 1.1, 1.2, 1.5})
+	if s.Min != 0.9 || s.Max != 1.5 {
+		t.Fatalf("min/max wrong: %+v", s)
+	}
+	if !(s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max) {
+		t.Fatalf("summary not ordered: %+v", s)
+	}
+	if s.N != 5 {
+		t.Fatalf("N = %d", s.N)
+	}
+}
+
+func TestSummarizeMedianOdd(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if !almostEq(s.Median, 2) {
+		t.Fatalf("median = %v, want 2", s.Median)
+	}
+}
+
+func TestSummarizeMedianEven(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if !almostEq(s.Median, 2.5) {
+		t.Fatalf("median = %v, want 2.5", s.Median)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{1.3})
+	if s.Min != 1.3 || s.Max != 1.3 || s.Median != 1.3 || s.Q1 != 1.3 || s.Q3 != 1.3 {
+		t.Fatalf("singleton summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.GMean != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestQuantileProperty(t *testing.T) {
+	// Property: quantiles lie within [min, max] and are monotone in q.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Abs(v)+1)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKBFormatting(t *testing.T) {
+	if got := KB(8 * 1024 * 32); got != "32.00KB" {
+		t.Fatalf("KB = %q", got)
+	}
+}
+
+func TestBitsToKB(t *testing.T) {
+	if got := BitsToKB(8 * 1024); !almostEq(got, 1.0) {
+		t.Fatalf("BitsToKB(8Ki) = %v", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2})
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"bebop/internal/isa"
+	"bebop/internal/util"
+)
+
+// Generator walks a profile's static program and emits the dynamic
+// instruction trace, implementing isa.Stream. Identical (profile,
+// maxInsts) always produces the identical trace.
+type Generator struct {
+	prof Profile
+	prog *program
+	rng  *util.RNG
+
+	maxInsts int64
+	emitted  int64
+
+	// Walk state.
+	curLoop  int
+	idx      int
+	iterLeft int
+	skipLeft int
+	inFn     bool
+	fnIdx    int
+	retIdx   int // loop instruction index to resume after a return
+	retPC    uint64
+
+	// hist is the generator-side branch outcome history that
+	// control-flow-dependent value patterns key on.
+	hist     uint64
+	histMask uint64
+}
+
+// New builds a generator emitting at most maxInsts dynamic instructions.
+func New(prof Profile, maxInsts int64) *Generator {
+	rng := util.NewRNG(prof.Seed)
+	g := &Generator{
+		prof:     prof,
+		prog:     buildProgram(&prof, rng),
+		rng:      rng.Fork(),
+		maxInsts: maxInsts,
+		histMask: (uint64(1) << prof.HistEntropyLog2) - 1,
+	}
+	g.iterLeft = g.drawIters()
+	return g
+}
+
+// NewByName builds a generator for the named Table II profile.
+func NewByName(name string, maxInsts int64) (*Generator, bool) {
+	p, ok := ProfileByName(name)
+	if !ok {
+		return nil, false
+	}
+	return New(p, maxInsts), true
+}
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+func (g *Generator) drawIters() int {
+	span := g.prof.IterMax - g.prof.IterMin
+	if span <= 0 {
+		return g.prof.IterMin
+	}
+	return g.prof.IterMin + g.rng.Intn(span)
+}
+
+// Next implements isa.Stream.
+func (g *Generator) Next(in *isa.Inst) bool {
+	if g.emitted >= g.maxInsts {
+		return false
+	}
+	g.emitted++
+
+	var si *staticInst
+	if g.inFn {
+		si = &g.prog.fn[g.fnIdx]
+	} else {
+		si = &g.prog.loops[g.curLoop].insts[g.idx]
+	}
+	si.count++
+
+	// Materialize the dynamic instance.
+	in.PC = si.pc
+	in.Size = si.size
+	in.NumUOps = si.n
+	in.Kind = si.kind
+	in.Taken = false
+	in.Target = 0
+
+	ctx := g.hist & g.histMask
+	for i := 0; i < si.n; i++ {
+		g.emitUOp(&si.uops[i], &in.UOps[i], ctx)
+	}
+
+	// Resolve control flow and advance the walk.
+	switch {
+	case g.inFn:
+		if si.kind == isa.BranchReturn {
+			in.Taken = true
+			in.Target = g.retPC
+			g.inFn = false
+			g.idx = g.retIdx
+		} else {
+			g.fnIdx++
+		}
+	case si.kind == isa.BranchCall:
+		in.Taken = true
+		in.Target = si.target
+		g.retIdx = g.idx + 1
+		g.retPC = si.pc + uint64(si.size)
+		g.inFn = true
+		g.fnIdx = 0
+	case si.kind == isa.BranchDirect:
+		// Trailing jump to the next loop.
+		in.Taken = true
+		in.Target = si.target
+		g.curLoop = (g.curLoop + 1) % len(g.prog.loops)
+		g.idx = 0
+		g.iterLeft = g.drawIters()
+	case si.kind == isa.BranchCond && si.target != 0:
+		// Backward loop branch.
+		taken := g.iterLeft > 0
+		g.iterLeft--
+		in.Taken = taken
+		in.Target = si.target
+		g.pushHist(taken)
+		if taken {
+			g.idx = 0
+		} else {
+			g.idx++ // falls through to the trailing jump
+		}
+	case si.kind == isa.BranchCond:
+		// Forward if-branch, possibly patterned.
+		var taken bool
+		if si.patterned {
+			taken = (si.patBits>>(si.count%uint64(si.patLen)))&1 == 1
+		} else {
+			taken = g.rng.Bool(si.takenP)
+		}
+		in.Taken = taken
+		g.pushHist(taken)
+		skip := 0
+		if taken {
+			skip = si.skip
+			// Clamp so we never skip the loop's closing branch pair.
+			if rem := len(g.prog.loops[g.curLoop].insts) - 2 - (g.idx + 1); skip > rem {
+				skip = rem
+			}
+			if skip < 0 {
+				skip = 0
+			}
+		}
+		if taken {
+			tgt := g.idx + 1 + skip
+			in.Target = g.prog.loops[g.curLoop].insts[tgt].pc
+		}
+		g.idx += 1 + skip
+	default:
+		g.idx++
+	}
+	return true
+}
+
+func (g *Generator) pushHist(taken bool) {
+	g.hist <<= 1
+	if taken {
+		g.hist |= 1
+	}
+}
+
+// emitUOp materializes one µ-op instance: its value follows the static
+// µ-op's pattern, its address its addressing mode, and the previous
+// instance's value is recorded as the trace oracle.
+func (g *Generator) emitUOp(su *staticUOp, mo *isa.MicroOp, ctx uint64) {
+	mo.Dest = su.dest
+	mo.Src = su.src
+	mo.Class = su.class
+	mo.IsLoadImm = su.isLoadImm
+	mo.Addr = 0
+	mo.Value = 0
+	mo.PrevValue = su.prevVal
+	mo.HasPrev = su.hasPrev
+
+	// Address generation for memory µ-ops.
+	switch su.mode {
+	case addrStrided:
+		su.addrCur += uint64(su.addrStride)
+		if su.addrCur-su.addrBase > su.footMask {
+			su.addrCur = su.addrBase
+		}
+		mo.Addr = su.addrCur &^ 7
+	case addrRandom:
+		mo.Addr = su.addrBase + (g.rng.Uint64()&su.footMask)&^7
+	case addrChase:
+		// The next address is a function of the previously loaded value:
+		// a serial, cache-hostile dependence chain.
+		mo.Addr = su.addrBase + (su.cur&su.footMask)&^7
+	}
+
+	if su.dest == isa.RegNone {
+		return
+	}
+
+	var v uint64
+	switch su.pattern {
+	case patConst:
+		v = su.seed
+	case patStride:
+		su.cur += uint64(su.stride)
+		v = su.cur
+	case patCFDep:
+		v = util.Mix64(su.seed ^ ctx)
+	case patCFStride:
+		delta := int64(util.Mix64(su.seed^ctx)%23) - 11
+		su.cur += uint64(delta)
+		v = su.cur
+	case patChaos:
+		if su.mode == addrChase {
+			// Deterministic function of the address so the chase chain is
+			// reproducible.
+			v = util.Mix64(su.seed ^ mo.Addr)
+			su.cur = v
+		} else {
+			v = g.rng.Uint64()
+		}
+	}
+	mo.Value = v
+	su.prevVal = v
+	su.hasPrev = true
+}

@@ -1,0 +1,474 @@
+package workload
+
+import (
+	"bebop/internal/isa"
+	"bebop/internal/util"
+)
+
+// pattern classifies how a static µ-op's result values evolve across
+// dynamic instances.
+type pattern uint8
+
+const (
+	patConst pattern = iota
+	patStride
+	patCFDep
+	patCFStride
+	patChaos
+)
+
+// addrMode classifies how a static memory µ-op's addresses evolve.
+type addrMode uint8
+
+const (
+	addrNone addrMode = iota
+	addrStrided
+	addrRandom
+	addrChase
+)
+
+// staticUOp is one µ-op of a static instruction plus its dynamic pattern
+// state.
+type staticUOp struct {
+	dest      isa.Reg
+	src       [2]isa.Reg
+	class     isa.Class
+	isLoadImm bool
+
+	pattern pattern
+	seed    uint64
+	stride  int64
+
+	mode       addrMode
+	addrBase   uint64
+	addrStride int64
+	footMask   uint64
+
+	// dynamic state
+	cur     uint64
+	addrCur uint64
+	prevVal uint64
+	hasPrev bool
+}
+
+// staticInst is one static instruction.
+type staticInst struct {
+	pc   uint64
+	size int
+	n    int
+	uops [isa.MaxUOpsPerInst]staticUOp
+
+	kind   isa.BranchKind
+	target uint64
+
+	// Conditional branch behaviour: patterned branches repeat patBits
+	// cyclically (learnable by TAGE); the rest are taken with takenP.
+	patterned bool
+	patBits   uint64
+	patLen    uint8
+	takenP    float64
+	skip      int // instructions skipped when a forward branch is taken
+
+	count uint64 // dynamic execution count
+}
+
+// loop is a loop body; its last instruction is the backward branch and the
+// one before last rows may include a trailing jump to the next loop.
+type loop struct {
+	insts   []staticInst
+	startPC uint64
+}
+
+// program is the full static program: NumLoops loop bodies laid out
+// contiguously, visited round-robin via trailing direct jumps, plus an
+// optional small shared function exercised through call/return.
+type program struct {
+	loops []loop
+	fn    []staticInst
+}
+
+const codeBase = 0x10000
+
+// buildProgram constructs the static program for a profile.
+func buildProgram(p *Profile, rng *util.RNG) *program {
+	prog := &program{}
+	pc := uint64(codeBase)
+
+	// Register allocation: general destinations rotate through regs 1..39;
+	// regs 40..54 are reserved for the per-loop induction and reduction
+	// registers (so their loop-carried chains are never broken by reuse),
+	// reg 55 for the shared function, and regs 56..63 are never written
+	// (always-ready sources).
+	nextReg := 1
+	takeReg := func() isa.Reg {
+		r := isa.Reg(1 + (nextReg-1)%39)
+		nextReg++
+		return r
+	}
+	nextReserved := 40
+	takeReserved := func() isa.Reg {
+		r := isa.Reg(40 + (nextReserved-40)%15)
+		nextReserved++
+		return r
+	}
+
+	drawStride := func() int64 {
+		if rng.Bool(p.BigStrideFrac) {
+			// A stride too large for an 8-bit field (Section VI-B(a)).
+			return int64(1024 + rng.Intn(1<<16))
+		}
+		choices := []int64{1, 1, 2, 3, 4, 4, 8, 8, 16, 24, 32, 64, -1, -2, -8}
+		return choices[rng.Intn(len(choices))]
+	}
+
+	drawPattern := func() pattern {
+		x := rng.Float64()
+		v := &p.Values
+		switch {
+		case x < v.Const:
+			return patConst
+		case x < v.Const+v.Stride:
+			return patStride
+		case x < v.Const+v.Stride+v.CFDep:
+			return patCFDep
+		case x < v.Const+v.Stride+v.CFDep+v.CFStride:
+			return patCFStride
+		default:
+			return patChaos
+		}
+	}
+
+	footMask := (uint64(1) << p.FootprintLog2) - 1
+	dataBase := uint64(1) << 32
+
+	initValueUOp := func(u *staticUOp) {
+		u.seed = rng.Uint64() | 1
+		u.pattern = drawPattern()
+		u.cur = util.Mix64(u.seed)
+		u.stride = drawStride()
+	}
+
+	initMemUOp := func(u *staticUOp, isLoad bool) {
+		u.footMask = footMask &^ 7
+		u.addrBase = dataBase + (rng.Uint64()&footMask)&^7
+		switch {
+		case isLoad && rng.Bool(p.ChaseFrac):
+			u.mode = addrChase
+			u.pattern = patChaos
+		case p.LoadStride > 0:
+			u.mode = addrStrided
+			mult := int64(1 + rng.Intn(4))
+			u.addrStride = int64(p.LoadStride) * mult
+		default:
+			u.mode = addrRandom
+		}
+		u.addrCur = u.addrBase
+	}
+
+	makeLoop := func(li int) loop {
+		body := p.LoopBodyMin
+		if p.LoopBodyMax > p.LoopBodyMin {
+			body += rng.Intn(p.LoopBodyMax - p.LoopBodyMin)
+		}
+		if body < 4 {
+			body = 4
+		}
+		lp := loop{startPC: pc}
+		recent := make([]isa.Reg, 0, 16)
+		pickSrc := func() isa.Reg {
+			if len(recent) == 0 {
+				return isa.Reg(56 + rng.Intn(8)) // never-written, always ready
+			}
+			d := p.DepDepth
+			if d > len(recent) {
+				d = len(recent)
+			}
+			return recent[len(recent)-1-rng.Intn(d)]
+		}
+
+		// The loop's induction variable: a strided accumulator every
+		// iteration, feeding address-like computation downstream.
+		indReg := takeReserved()
+		// The loop's reduction register: repeatedly updated within one
+		// iteration, forming the loop-carried multi-cycle chain.
+		redReg := takeReserved()
+		// A ChainChaosFrac share of the loops carries a *data-dependent*
+		// reduction (chaos values): value prediction cannot collapse such
+		// a chain, which is what bounds whole-program speedup — real
+		// workloads likewise mix predictable and unpredictable critical
+		// paths.
+		chaosChain := rng.Float64() < p.ChainChaosFrac
+
+		for i := 0; i < body; i++ {
+			var si staticInst
+			si.pc = pc
+			si.size = 2 + rng.Intn(7)
+			si.takenP = p.BrTakenP
+
+			// Deterministic reduction slots: a fixed fraction of body
+			// positions update the reduction register, so every loop has
+			// the intended loop-carried chain length (probabilistic
+			// placement would leave some loops chain-free and skew IPC).
+			isRed := i > 0 && int(uint32(i)*2654435761%1000) < int(p.RedFrac*1000)
+			switch {
+			case i == 0:
+				// Induction update: add immediate to own register.
+				u := &si.uops[0]
+				u.class = isa.ClassALU
+				u.dest = indReg
+				u.src[0] = indReg
+				u.src[1] = isa.RegNone
+				initValueUOp(u)
+				u.pattern = patStride
+				si.n = 1
+			case isRed:
+				// Reduction update: red = red ⊕ x, the loop-carried
+				// multi-cycle serial chain that value prediction
+				// collapses. FP codes chain through FP units, integer
+				// codes through ALU/multiplier. A profile-dependent share
+				// of the links is data-dependent (unpredictable), so the
+				// chain only partially collapses under value prediction —
+				// which is what bounds the attainable speedup, exactly as
+				// imperfect coverage does on real workloads.
+				u := &si.uops[0]
+				switch {
+				case !p.INT && i%3 == 0:
+					u.class = isa.ClassFPMul
+				case !p.INT:
+					u.class = isa.ClassFP
+				case p.INT && i%3 == 0:
+					u.class = isa.ClassMul
+				default:
+					u.class = isa.ClassALU
+				}
+				u.dest = redReg
+				u.src[0] = redReg
+				u.src[1] = pickSrc()
+				initValueUOp(u)
+				if chaosChain {
+					u.pattern = patChaos
+				} else {
+					u.pattern = patStride
+				}
+				si.n = 1
+			case rng.Bool(p.CondBrFrac):
+				// Forward conditional branch skipping 1..3 instructions.
+				u := &si.uops[0]
+				u.class = isa.ClassBranch
+				u.dest = isa.RegNone
+				u.src[0] = pickSrc()
+				u.src[1] = isa.RegNone
+				si.n = 1
+				si.kind = isa.BranchCond
+				si.skip = 1 + rng.Intn(3)
+				si.patterned = rng.Bool(p.BrPatternFrac)
+				if si.patterned {
+					si.patLen = uint8(2 + rng.Intn(14))
+					si.patBits = rng.Uint64()
+				}
+			default:
+				buildComputeInst(p, rng, &si, pickSrc, takeReg, indReg, redReg,
+					initValueUOp, initMemUOp, drawPattern)
+			}
+			for k := 0; k < si.n; k++ {
+				if si.uops[k].dest != isa.RegNone {
+					recent = append(recent, si.uops[k].dest)
+					if len(recent) > 48 {
+						recent = recent[1:]
+					}
+				}
+			}
+			pc += uint64(si.size)
+			lp.insts = append(lp.insts, si)
+		}
+
+		// Backward branch: taken while the loop iterates.
+		var back staticInst
+		back.pc = pc
+		back.size = 2
+		back.kind = isa.BranchCond
+		back.target = lp.startPC
+		bu := &back.uops[0]
+		bu.class = isa.ClassBranch
+		bu.dest = isa.RegNone
+		bu.src[0] = indReg
+		bu.src[1] = isa.RegNone
+		back.n = 1
+		pc += uint64(back.size)
+		lp.insts = append(lp.insts, back)
+
+		// Trailing jump to the next loop (target patched after layout).
+		var jmp staticInst
+		jmp.pc = pc
+		jmp.size = 3
+		jmp.kind = isa.BranchDirect
+		ju := &jmp.uops[0]
+		ju.class = isa.ClassBranch
+		ju.dest = isa.RegNone
+		ju.src[0] = isa.RegNone
+		ju.src[1] = isa.RegNone
+		jmp.n = 1
+		pc += uint64(jmp.size)
+		lp.insts = append(lp.insts, jmp)
+		_ = li
+		return lp
+	}
+
+	for i := 0; i < p.NumLoops; i++ {
+		prog.loops = append(prog.loops, makeLoop(i))
+	}
+	// Shared function: a few compute instructions ending in a return.
+	fnStart := pc
+	for i := 0; i < 3; i++ {
+		var si staticInst
+		si.pc = pc
+		si.size = 2 + rng.Intn(5)
+		u := &si.uops[0]
+		u.class = isa.ClassALU
+		u.dest = isa.Reg(55)
+		u.src[0] = isa.Reg(55)
+		u.src[1] = isa.RegNone
+		initValueUOp(u)
+		si.n = 1
+		pc += uint64(si.size)
+		prog.fn = append(prog.fn, si)
+	}
+	var ret staticInst
+	ret.pc = pc
+	ret.size = 1
+	ret.kind = isa.BranchReturn
+	ru := &ret.uops[0]
+	ru.class = isa.ClassBranch
+	ru.dest = isa.RegNone
+	ru.src[0] = isa.RegNone
+	ru.src[1] = isa.RegNone
+	ret.n = 1
+	prog.fn = append(prog.fn, ret)
+
+	// Patch loop-to-loop jumps and inject occasional call sites.
+	for i := range prog.loops {
+		lp := &prog.loops[i]
+		next := &prog.loops[(i+1)%len(prog.loops)]
+		lp.insts[len(lp.insts)-1].target = next.startPC
+		// Turn one mid-body compute instruction into a call per loop, for
+		// a few loops, to exercise the RAS.
+		if i%2 == 0 && len(lp.insts) > 6 {
+			k := 2 + i%3
+			si := &lp.insts[k]
+			if si.kind == isa.BranchNone && si.n == 1 && si.uops[0].class == isa.ClassALU &&
+				!si.uops[0].isLoadImm && si.uops[0].src[0] != si.uops[0].dest {
+				si.kind = isa.BranchCall
+				si.target = fnStart
+				si.uops[0].class = isa.ClassBranch
+				si.uops[0].dest = isa.RegNone
+			}
+		}
+	}
+	return prog
+}
+
+// buildComputeInst fills si with a non-branch instruction drawn from the
+// profile's class mix: single-µ-op ALU/FP/Mul/Div, a load (possibly with a
+// dependent ALU µ-op, mirroring x86 load-op cracking), a store, or a
+// twin-destination ALU instruction.
+func buildComputeInst(p *Profile, rng *util.RNG, si *staticInst,
+	pickSrc func() isa.Reg, takeReg func() isa.Reg, indReg, redReg isa.Reg,
+	initValueUOp func(*staticUOp), initMemUOp func(*staticUOp, bool),
+	drawPattern func() pattern) {
+
+	c := &p.Classes
+	x := rng.Float64() * (c.ALU + c.FP + c.FPMul + c.Mul + c.Div + c.Load + c.Store)
+	var class isa.Class
+	switch {
+	case x < c.ALU:
+		class = isa.ClassALU
+	case x < c.ALU+c.FP:
+		class = isa.ClassFP
+	case x < c.ALU+c.FP+c.FPMul:
+		class = isa.ClassFPMul
+	case x < c.ALU+c.FP+c.FPMul+c.Mul:
+		class = isa.ClassMul
+	case x < c.ALU+c.FP+c.FPMul+c.Mul+c.Div:
+		if rng.Bool(0.5) {
+			class = isa.ClassDiv
+		} else {
+			class = isa.ClassFPDiv
+		}
+	case x < c.ALU+c.FP+c.FPMul+c.Mul+c.Div+c.Load:
+		class = isa.ClassLoad
+	default:
+		class = isa.ClassStore
+	}
+
+	switch class {
+	case isa.ClassLoad:
+		u := &si.uops[0]
+		u.class = isa.ClassLoad
+		u.dest = takeReg()
+		u.src[0] = indReg // address depends on the induction variable
+		u.src[1] = isa.RegNone
+		initValueUOp(u)
+		initMemUOp(u, true)
+		if u.mode == addrChase {
+			u.src[0] = u.dest // serial pointer chase
+		}
+		si.n = 1
+		if rng.Bool(p.MultiUopFrac) {
+			// x86-style load-op: second µ-op consumes the loaded value.
+			v := &si.uops[1]
+			v.class = isa.ClassALU
+			v.dest = takeReg()
+			v.src[0] = u.dest
+			v.src[1] = pickSrc()
+			initValueUOp(v)
+			si.n = 2
+		}
+	case isa.ClassStore:
+		u := &si.uops[0]
+		u.class = isa.ClassStore
+		u.dest = isa.RegNone
+		u.src[0] = pickSrc()
+		u.src[1] = indReg
+		initMemUOp(u, false)
+		si.n = 1
+	default:
+		u := &si.uops[0]
+		u.class = class
+		u.dest = takeReg()
+		u.src[0] = pickSrc()
+		u.src[1] = pickSrc()
+		initValueUOp(u)
+		si.n = 1
+		_ = redReg
+		if class == isa.ClassALU {
+			if rng.Bool(p.LoadImmFrac) {
+				u.isLoadImm = true
+				u.pattern = patConst
+				u.src[0] = isa.RegNone
+				u.src[1] = isa.RegNone
+			} else if rng.Bool(p.AccumFrac) {
+				// Loop-carried accumulator: the serial chain VP collapses.
+				u.src[0] = u.dest
+				u.pattern = patStride
+			}
+		} else if class == isa.ClassFP || class == isa.ClassFPMul || class == isa.ClassMul {
+			if rng.Bool(p.AccumFrac * 1.6) {
+				// Multi-cycle loop-carried recurrence (reduction, index
+				// computation): 3-5 cycles per iteration of serial
+				// latency that value prediction collapses entirely.
+				u.src[0] = u.dest
+				u.pattern = patStride
+			}
+		}
+		if rng.Bool(p.MultiUopFrac * 0.4) {
+			// Twin-destination instruction (e.g. x86 mul hi/lo).
+			v := &si.uops[1]
+			v.class = class
+			v.dest = takeReg()
+			v.src[0] = u.src[0]
+			v.src[1] = u.src[1]
+			initValueUOp(v)
+			si.n = 2
+		}
+	}
+}

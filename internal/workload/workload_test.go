@@ -1,0 +1,311 @@
+package workload
+
+import (
+	"testing"
+
+	"bebop/internal/isa"
+)
+
+func TestThirtySixProfiles(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 36 {
+		t.Fatalf("Table II has 36 benchmarks, got %d", len(ps))
+	}
+	intC, fpC := 0, 0
+	for _, p := range ps {
+		if p.INT {
+			intC++
+		} else {
+			fpC++
+		}
+	}
+	if intC != 18 || fpC != 18 {
+		t.Fatalf("Table II: 18 INT + 18 FP, got %d + %d", intC, fpC)
+	}
+}
+
+func TestProfileNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Profiles() {
+		if seen[p.Name] {
+			t.Fatalf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, ok := ProfileByName("swim")
+	if !ok || p.Name != "swim" {
+		t.Fatal("swim not found")
+	}
+	if _, ok := ProfileByName("nonexistent"); ok {
+		t.Fatal("bogus name found")
+	}
+}
+
+func TestProfileMixesSane(t *testing.T) {
+	for _, p := range Profiles() {
+		v := p.Values
+		sum := v.Const + v.Stride + v.CFDep + v.CFStride + v.Chaos
+		if sum < 0.9 || sum > 1.1 {
+			t.Fatalf("%s: value mix sums to %v", p.Name, sum)
+		}
+		if p.ChainChaosFrac < 0 || p.ChainChaosFrac > 1 {
+			t.Fatalf("%s: ChainChaosFrac %v", p.Name, p.ChainChaosFrac)
+		}
+		if p.LoopBodyMin < 4 || p.LoopBodyMax < p.LoopBodyMin {
+			t.Fatalf("%s: bad body bounds %d..%d", p.Name, p.LoopBodyMin, p.LoopBodyMax)
+		}
+		if p.PaperIPC <= 0 {
+			t.Fatalf("%s: missing paper IPC", p.Name)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	a, b := New(p, 5000), New(p, 5000)
+	var ia, ib isa.Inst
+	for i := 0; i < 5000; i++ {
+		oka, okb := a.Next(&ia), b.Next(&ib)
+		if oka != okb {
+			t.Fatal("streams ended at different points")
+		}
+		if !oka {
+			break
+		}
+		if ia != ib {
+			t.Fatalf("trace diverged at %d: %+v vs %+v", i, ia, ib)
+		}
+	}
+}
+
+func TestGeneratorHonorsMaxInsts(t *testing.T) {
+	p, _ := ProfileByName("gzip")
+	g := New(p, 1234)
+	var in isa.Inst
+	n := 0
+	for g.Next(&in) {
+		n++
+	}
+	if n != 1234 {
+		t.Fatalf("emitted %d, want 1234", n)
+	}
+}
+
+func TestTraceControlFlowConsistent(t *testing.T) {
+	// Every instruction's PC must equal the previous instruction's NextPC.
+	for _, name := range []string{"swim", "gcc", "mcf", "xalancbmk", "bzip2"} {
+		p, _ := ProfileByName(name)
+		g := New(p, 20000)
+		var in isa.Inst
+		var prevNext uint64
+		first := true
+		for g.Next(&in) {
+			if !first && in.PC != prevNext {
+				t.Fatalf("%s: control flow broken: at pc=%#x, expected %#x", name, in.PC, prevNext)
+			}
+			first = false
+			prevNext = in.NextPC()
+		}
+	}
+}
+
+func TestTraceOraclePrevValues(t *testing.T) {
+	// PrevValue must be exactly the previous dynamic value of the same
+	// static µ-op.
+	p, _ := ProfileByName("swim")
+	g := New(p, 30000)
+	var in isa.Inst
+	last := map[[2]uint64]uint64{}
+	seen := map[[2]uint64]bool{}
+	for g.Next(&in) {
+		for i := 0; i < in.NumUOps; i++ {
+			u := &in.UOps[i]
+			if u.Dest == isa.RegNone {
+				continue
+			}
+			key := [2]uint64{in.PC, uint64(i)}
+			if seen[key] {
+				if !u.HasPrev {
+					t.Fatalf("missing HasPrev on repeat of %x/%d", in.PC, i)
+				}
+				if u.PrevValue != last[key] {
+					t.Fatalf("oracle PrevValue wrong at %x/%d: %d want %d",
+						in.PC, i, u.PrevValue, last[key])
+				}
+			}
+			last[key] = u.Value
+			seen[key] = true
+		}
+	}
+}
+
+func TestInstructionGeometry(t *testing.T) {
+	p, _ := ProfileByName("vortex")
+	g := New(p, 20000)
+	var in isa.Inst
+	for g.Next(&in) {
+		if in.Size < 1 || in.Size > isa.MaxInstBytes {
+			t.Fatalf("instruction size %d out of range", in.Size)
+		}
+		if in.NumUOps < 1 || in.NumUOps > isa.MaxUOpsPerInst {
+			t.Fatalf("µ-op count %d out of range", in.NumUOps)
+		}
+	}
+}
+
+func TestStridePatternsPresent(t *testing.T) {
+	// Stride-heavy profiles must actually produce strided series.
+	p, _ := ProfileByName("swim")
+	g := New(p, 30000)
+	var in isa.Inst
+	diffs := map[[2]uint64]map[int64]int{}
+	last := map[[2]uint64]uint64{}
+	for g.Next(&in) {
+		for i := 0; i < in.NumUOps; i++ {
+			u := &in.UOps[i]
+			if u.Dest == isa.RegNone {
+				continue
+			}
+			key := [2]uint64{in.PC, uint64(i)}
+			if lv, ok := last[key]; ok {
+				d := int64(u.Value - lv)
+				if diffs[key] == nil {
+					diffs[key] = map[int64]int{}
+				}
+				diffs[key][d]++
+			}
+			last[key] = u.Value
+		}
+	}
+	strided := 0
+	total := 0
+	for _, ds := range diffs {
+		total++
+		for _, c := range ds {
+			n := 0
+			for _, cc := range ds {
+				n += cc
+			}
+			if float64(c)/float64(n) > 0.9 && n > 10 {
+				strided++
+				break
+			}
+		}
+	}
+	if total == 0 || float64(strided)/float64(total) < 0.3 {
+		t.Fatalf("swim: only %d/%d static µ-ops strided", strided, total)
+	}
+}
+
+func TestChaseLoadsSerialAndUnpredictable(t *testing.T) {
+	p, _ := ProfileByName("mcf")
+	g := New(p, 30000)
+	var in isa.Inst
+	chase := 0
+	for g.Next(&in) {
+		for i := 0; i < in.NumUOps; i++ {
+			u := &in.UOps[i]
+			if u.Class == isa.ClassLoad && u.Src[0] == u.Dest && u.Dest != isa.RegNone {
+				chase++
+			}
+		}
+	}
+	if chase == 0 {
+		t.Fatal("mcf must contain pointer-chasing loads")
+	}
+}
+
+func TestBranchMixMatchesProfile(t *testing.T) {
+	p, _ := ProfileByName("gobmk") // branchy
+	g := New(p, 30000)
+	var in isa.Inst
+	branches, insts := 0, 0
+	for g.Next(&in) {
+		insts++
+		if in.Kind == isa.BranchCond {
+			branches++
+		}
+	}
+	frac := float64(branches) / float64(insts)
+	if frac < 0.05 {
+		t.Fatalf("gobmk branch fraction %v too low", frac)
+	}
+}
+
+func TestCallsAndReturnsBalanced(t *testing.T) {
+	p, _ := ProfileByName("gzip")
+	g := New(p, 50000)
+	var in isa.Inst
+	calls, rets := 0, 0
+	for g.Next(&in) {
+		switch in.Kind {
+		case isa.BranchCall:
+			calls++
+		case isa.BranchReturn:
+			rets++
+		}
+	}
+	if calls == 0 {
+		t.Fatal("no calls generated")
+	}
+	if rets < calls-1 || rets > calls {
+		t.Fatalf("calls %d and returns %d unbalanced", calls, rets)
+	}
+}
+
+func TestMemoryAddressesWithinFootprint(t *testing.T) {
+	p, _ := ProfileByName("twolf")
+	foot := uint64(1) << p.FootprintLog2
+	g := New(p, 30000)
+	var in isa.Inst
+	for g.Next(&in) {
+		for i := 0; i < in.NumUOps; i++ {
+			u := &in.UOps[i]
+			if u.Class != isa.ClassLoad && u.Class != isa.ClassStore {
+				continue
+			}
+			if u.Addr < 1<<32 {
+				t.Fatalf("memory address %#x below the data base", u.Addr)
+			}
+			if u.Addr >= (1<<32)+2*foot+64 {
+				t.Fatalf("address %#x beyond footprint", u.Addr)
+			}
+		}
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	if _, ok := NewByName("swim", 100); !ok {
+		t.Fatal("NewByName failed for swim")
+	}
+	if _, ok := NewByName("bogus", 100); ok {
+		t.Fatal("NewByName accepted a bogus name")
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	names := Names()
+	if len(names) != 36 || names[0] != "gzip" || names[35] != "xalancbmk" {
+		t.Fatalf("Names() order wrong: first=%s last=%s", names[0], names[len(names)-1])
+	}
+}
+
+func TestLoadImmediatesGenerated(t *testing.T) {
+	p, _ := ProfileByName("gzip")
+	g := New(p, 30000)
+	var in isa.Inst
+	n := 0
+	for g.Next(&in) {
+		for i := 0; i < in.NumUOps; i++ {
+			if in.UOps[i].IsLoadImm {
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("no load-immediates generated")
+	}
+}

@@ -1,0 +1,187 @@
+// Command bebop-serve exposes the experiment suite as an HTTP service, so
+// configuration sweeps can be driven remotely and share one warm result
+// cache across requests: the first request for an experiment simulates,
+// later requests (and other experiments reusing the same baselines) hit
+// the engine's sharded cache.
+//
+// Usage:
+//
+//	bebop-serve -addr :8080 -n 100000 -p 8
+//
+// Endpoints:
+//
+//	GET /healthz                 liveness + engine statistics
+//	GET /experiments             the available experiment ids
+//	GET /run?exp=fig8            run one experiment (JSON by default)
+//	GET /run?exp=all&format=csv  every experiment, as CSV
+//	GET /run?exp=fig7b&w=swim,applu  restrict to a workload subset
+//
+// The instruction budget is fixed per process (-n): results are cached by
+// configuration and benchmark, so one budget per cache keeps entries
+// comparable.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"bebop/internal/engine"
+	"bebop/internal/experiments"
+)
+
+type server struct {
+	runner *experiments.Runner
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	n := flag.Int64("n", 100_000, "dynamic instructions per workload (fixed per process)")
+	par := flag.Int("p", 0, "max parallel simulations (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	s := &server{runner: experiments.NewRunner(experiments.Options{Insts: *n, Parallel: *par})}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /experiments", s.experiments)
+	mux.HandleFunc("GET /run", s.run)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shCtx)
+	}()
+
+	log.Printf("bebop-serve listening on %s (insts=%d, workers=%d)",
+		*addr, *n, s.runner.Engine().Workers())
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.runner.Engine().Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"workers":       s.runner.Engine().Workers(),
+		"cache_entries": st.Entries,
+		"cache_hits":    st.Hits,
+		"cache_misses":  st.Misses,
+		"runs":          st.Runs,
+	})
+}
+
+func (s *server) experiments(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"experiments": experiments.ExperimentIDs(),
+		"formats":     engine.Formats(),
+	})
+}
+
+func (s *server) run(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	exp := strings.ToLower(q.Get("exp"))
+	if exp == "" {
+		httpError(w, http.StatusBadRequest, "missing exp parameter")
+		return
+	}
+	// Unlike the CLI, the service defaults to JSON.
+	f := engine.FormatJSON
+	if fs := q.Get("format"); fs != "" {
+		var err error
+		if f, err = engine.ParseFormat(fs); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+
+	// Scope cancellation to this request; the cache stays shared.
+	r := s.runner.WithContext(req.Context())
+	if wl := q.Get("w"); wl != "" {
+		r = r.WithWorkloads(strings.Split(wl, ","))
+	}
+
+	ids := []string{exp}
+	if exp == "all" {
+		ids = experiments.ExperimentIDs()
+	}
+	start := time.Now()
+	if f == engine.FormatText {
+		var sb strings.Builder
+		for _, id := range ids {
+			if err := r.RunAndRender(&sb, id); err != nil {
+				runError(w, req, err)
+				return
+			}
+			sb.WriteByte('\n')
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, sb.String())
+		logRun(req, ids, start)
+		return
+	}
+	reports, err := r.Reports(ids)
+	if err != nil {
+		runError(w, req, err)
+		return
+	}
+	switch f {
+	case engine.FormatCSV:
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	default:
+		w.Header().Set("Content-Type", "application/json")
+	}
+	if err := f.Write(w, reports...); err != nil {
+		log.Printf("run %v: write: %v", ids, err)
+		return
+	}
+	logRun(req, ids, start)
+}
+
+// runError maps an experiment failure onto an HTTP status: unknown ids are
+// client errors, client disconnects are logged only, the rest are 500s.
+func runError(w http.ResponseWriter, req *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		log.Printf("run %s: client gone: %v", req.URL.RawQuery, err)
+	case errors.Is(err, experiments.ErrUnknownExperiment),
+		errors.Is(err, experiments.ErrUnknownBenchmark):
+		httpError(w, http.StatusBadRequest, err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func logRun(req *http.Request, ids []string, start time.Time) {
+	log.Printf("run %v ok in %s (%s)", ids, time.Since(start).Round(time.Millisecond), req.RemoteAddr)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -17,12 +17,16 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"bebop/internal/bebop"
 	"bebop/internal/core"
+	"bebop/internal/engine"
 	"bebop/internal/pipeline"
 	"bebop/internal/specwindow"
 	"bebop/internal/util"
@@ -34,6 +38,7 @@ func main() {
 	config := flag.String("config", "baseline", "baseline | baseline-vp | eole | eole-bebop | eole-bebop-custom")
 	pred := flag.String("predictor", "D-VTAGE", "predictor (baseline-vp) or Table III config (eole-bebop)")
 	n := flag.Int64("n", 200_000, "dynamic instructions to simulate")
+	asJSON := flag.Bool("json", false, "emit the result as JSON")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	npred := flag.Int("npred", 6, "custom: predictions per entry")
 	base := flag.Int("base", 2048, "custom: base component entries")
@@ -91,12 +96,32 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := core.RunByName(*bench, *n, mk)
+	// A single simulation is not interruptible mid-run, so no timeout or
+	// signal context here; cancellation matters for batch scheduling
+	// (bebop-sweep, bebop-serve), where queued jobs can still be stopped.
+	eng := engine.New[pipeline.Result](engine.Options{Workers: 1})
+	jr, err := eng.Run(context.Background(), engine.Job[pipeline.Result]{
+		Key:   *config + "/" + *pred,
+		Bench: *bench,
+		Run: func(context.Context) (pipeline.Result, error) {
+			return core.RunByName(*bench, *n, mk)
+		},
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	printResult(res)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jr.Value); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+	printResult(jr.Value)
+	fmt.Printf("sim wall time     %s\n", jr.Elapsed.Round(time.Millisecond))
 }
 
 func printResult(r pipeline.Result) {

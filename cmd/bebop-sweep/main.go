@@ -1,21 +1,28 @@
 // Command bebop-sweep regenerates the paper's tables and figures: for each
 // experiment id it runs the corresponding configuration sweep over the
 // Table II workload suite and prints the same rows/series the paper
-// reports.
+// reports. Simulations are scheduled by the sharded engine, so baselines
+// shared between experiments simulate exactly once per invocation.
 //
 // Usage:
 //
 //	bebop-sweep -exp fig8 -n 100000
-//	bebop-sweep -exp all
+//	bebop-sweep -exp all -p 8
 //	bebop-sweep -exp fig7b -w swim,applu,bzip2 -n 500000
+//	bebop-sweep -exp fig8 -format json
+//	bebop-sweep -exp all -format csv -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
+	"bebop/internal/engine"
 	"bebop/internal/experiments"
 )
 
@@ -24,23 +31,70 @@ func main() {
 	n := flag.Int64("n", 100_000, "dynamic instructions per workload")
 	w := flag.String("w", "", "comma-separated workload subset (default: all 36)")
 	par := flag.Int("p", 0, "max parallel simulations (0 = GOMAXPROCS)")
+	format := flag.String("format", "text", "output format: "+strings.Join(engine.Formats(), ", "))
+	timeout := flag.Duration("timeout", 0, "stop scheduling new simulations after this duration; in-flight ones finish (0 = none)")
+	progress := flag.Bool("progress", false, "stream per-simulation progress to stderr")
 	flag.Parse()
+
+	f, err := engine.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	opts := experiments.Options{Insts: *n, Parallel: *par}
 	if *w != "" {
 		opts.Workloads = strings.Split(*w, ",")
 	}
-	r := experiments.NewRunner(opts)
+	if *progress {
+		opts.OnProgress = func(ev engine.Event) {
+			if ev.Kind != engine.EventDone || ev.Cached || ev.Err != nil {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "[%3d/%3d] %s %s (%s)\n",
+				ev.Completed, ev.Total, ev.Key, ev.Bench, ev.Elapsed.Round(time.Millisecond))
+		}
+	}
 
-	ids := []string{*exp}
-	if *exp == "all" {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// After the first interrupt starts a graceful stop, restore default
+	// signal handling so a second Ctrl-C kills the process immediately
+	// instead of waiting out an in-flight simulation.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	r := experiments.NewRunner(opts).WithContext(ctx)
+
+	ids := []string{strings.ToLower(*exp)}
+	if ids[0] == "all" {
 		ids = experiments.ExperimentIDs()
 	}
-	for _, id := range ids {
-		if err := r.RunAndRender(os.Stdout, id); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+
+	if f == engine.FormatText {
+		for _, id := range ids {
+			if err := r.RunAndRender(os.Stdout, id); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Println()
 		}
-		fmt.Println()
+		return
+	}
+	// JSON and CSV emit all requested experiments as one document.
+	reports, err := r.Reports(ids)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := f.Write(os.Stdout, reports...); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 }

@@ -1,0 +1,3 @@
+module bebop
+
+go 1.24

@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Report is a format-independent experiment result: a labelled table that
+// every emitter (text, JSON, CSV) can render. Cells are strings, ints or
+// float64s — use Num/Str to build them.
+type Report struct {
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	Columns []string `json:"columns"`
+	Rows    []Row    `json:"rows"`
+}
+
+// Row is one labelled report row. Cells align with Report.Columns.
+type Row struct {
+	Label string `json:"label"`
+	Cells []any  `json:"cells"`
+}
+
+// Num builds a numeric cell.
+func Num(v float64) any { return v }
+
+// Int builds an integer cell.
+func Int(v int) any { return v }
+
+// Str builds a string cell.
+func Str(s string) any { return s }
+
+// formatCell renders a cell for CSV and text output. Floats use %g so
+// values round-trip without trailing-zero noise.
+func formatCell(c any) string {
+	switch v := c.(type) {
+	case nil:
+		return ""
+	case string:
+		return v
+	case float64:
+		return strconv.FormatFloat(v, 'g', 6, 64)
+	case int:
+		return strconv.Itoa(v)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// WriteJSON emits the reports as a JSON array (always an array, even for
+// one report, so consumers parse one shape).
+func WriteJSON(w io.Writer, reports ...Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}
+
+// WriteCSV emits each report as a CSV section: a `# id: title` comment
+// line, a header row (`label` plus the report columns), then the rows.
+// Sections are separated by a blank line.
+func WriteCSV(w io.Writer, reports ...Report) error {
+	for i, r := range reports {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# %s: %s\n", r.ID, r.Title); err != nil {
+			return err
+		}
+		cw := csv.NewWriter(w)
+		header := append([]string{"label"}, r.Columns...)
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+		for _, row := range r.Rows {
+			rec := make([]string, 0, len(row.Cells)+1)
+			rec = append(rec, row.Label)
+			for _, c := range row.Cells {
+				rec = append(rec, formatCell(c))
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText emits the reports as aligned plain-text tables.
+func WriteText(w io.Writer, reports ...Report) error {
+	for i, r := range reports {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "== %s ==\n", r.Title); err != nil {
+			return err
+		}
+		widths := make([]int, len(r.Columns)+1)
+		widths[0] = len("label")
+		for _, row := range r.Rows {
+			if n := len(row.Label); n > widths[0] {
+				widths[0] = n
+			}
+		}
+		cells := make([][]string, len(r.Rows))
+		for ri, row := range r.Rows {
+			cells[ri] = make([]string, len(r.Columns))
+			for ci := range r.Columns {
+				if ci < len(row.Cells) {
+					cells[ri][ci] = formatCell(row.Cells[ci])
+				}
+			}
+		}
+		for ci, col := range r.Columns {
+			widths[ci+1] = len(col)
+			for ri := range cells {
+				if n := len(cells[ri][ci]); n > widths[ci+1] {
+					widths[ci+1] = n
+				}
+			}
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%-*s", widths[0], "label")
+		for ci, col := range r.Columns {
+			fmt.Fprintf(&b, " %*s", widths[ci+1], col)
+		}
+		b.WriteByte('\n')
+		for ri, row := range r.Rows {
+			fmt.Fprintf(&b, "%-*s", widths[0], row.Label)
+			for ci := range r.Columns {
+				fmt.Fprintf(&b, " %*s", widths[ci+1], cells[ri][ci])
+			}
+			b.WriteByte('\n')
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Formats lists the output formats understood by ParseFormat.
+func Formats() []string { return []string{"text", "json", "csv"} }
+
+// Format is an output format selector.
+type Format int
+
+const (
+	FormatText Format = iota
+	FormatJSON
+	FormatCSV
+)
+
+// ParseFormat resolves a format name (case-insensitive).
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "", "text":
+		return FormatText, nil
+	case "json":
+		return FormatJSON, nil
+	case "csv":
+		return FormatCSV, nil
+	}
+	return 0, fmt.Errorf("engine: unknown format %q (have %v)", s, Formats())
+}
+
+// Write renders reports in the selected format.
+func (f Format) Write(w io.Writer, reports ...Report) error {
+	switch f {
+	case FormatJSON:
+		return WriteJSON(w, reports...)
+	case FormatCSV:
+		return WriteCSV(w, reports...)
+	default:
+		return WriteText(w, reports...)
+	}
+}

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenReports is a fixed pair of reports covering every cell type.
+func goldenReports() []Report {
+	return []Report{
+		{
+			ID:      "fig5a",
+			Title:   "Fig. 5(a): predictors over Baseline_6_60",
+			Columns: []string{"2d-Stride", "VTAGE"},
+			Rows: []Row{
+				{Label: "swim", Cells: []any{Num(1.125), Num(1.0625)}},
+				{Label: "gcc", Cells: []any{Num(1.015625), Num(1.03125)}},
+				{Label: "gmean", Cells: []any{Num(1.0693359375), Num(1.046875)}},
+			},
+		},
+		{
+			ID:      "table3",
+			Title:   "Table III: final predictor configurations",
+			Columns: []string{"npred", "base_entries", "kb", "name"},
+			Rows: []Row{
+				{Label: "Small_4p", Cells: []any{Int(4), Int(256), Num(17.25), Str("small")}},
+				{Label: "Large", Cells: []any{Int(6), Int(512), Num(61.5), Str("large")}},
+			},
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, goldenReports()...); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "reports.json.golden", buf.Bytes())
+}
+
+func TestWriteCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, goldenReports()...); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "reports.csv.golden", buf.Bytes())
+}
+
+func TestWriteTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, goldenReports()...); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "reports.txt.golden", buf.Bytes())
+}
+
+func TestParseFormat(t *testing.T) {
+	for in, want := range map[string]Format{
+		"": FormatText, "text": FormatText, "JSON": FormatJSON, "csv": FormatCSV,
+	} {
+		f, err := ParseFormat(in)
+		if err != nil || f != want {
+			t.Errorf("ParseFormat(%q) = %v, %v", in, f, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("ParseFormat accepted xml")
+	}
+}

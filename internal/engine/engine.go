@@ -1,0 +1,270 @@
+// Package engine is a sharded, job-based simulation engine: the execution
+// substrate under internal/experiments and the cmd/ front-ends.
+//
+// A Job names one (configuration, workload) simulation. The engine
+// deduplicates jobs through a result cache striped across N lock-striped
+// shards (so concurrent sweeps over disjoint configurations never contend
+// on a single mutex), collapses concurrent requests for the same job into
+// one execution (waiters block on the owner's completion instead of
+// re-simulating), bounds concurrent simulations with a worker pool,
+// honours context.Context cancellation at every blocking point, and
+// reduces batch results deterministically: the output order of RunBatch is
+// the submission order, never the completion order.
+//
+// The engine is generic over the result value so tests can drive it with
+// cheap types; the simulator instantiates Engine[pipeline.Result].
+package engine
+
+import (
+	"context"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job is one unit of schedulable work: a cacheable computation identified
+// by (Key, Bench). Key names the configuration, Bench the workload; the
+// pair is the cache identity, so Run must be a pure function of it.
+type Job[V any] struct {
+	Key   string
+	Bench string
+	Run   func(ctx context.Context) (V, error)
+}
+
+// cacheKey joins the two identity components with a separator that cannot
+// appear in either, so ("a","b/c") and ("a/b","c") never collide.
+func (j Job[V]) cacheKey() string { return j.Key + "\x00" + j.Bench }
+
+// JobResult is the outcome of one job within a batch.
+type JobResult[V any] struct {
+	Key, Bench string
+	Value      V
+	Err        error
+	// Cached reports that the value was served from the shard cache (or
+	// from another in-flight execution of the same job).
+	Cached  bool
+	Elapsed time.Duration
+}
+
+// EventKind tags a progress event.
+type EventKind int
+
+const (
+	// EventStart fires when a job is picked up by the batch scheduler.
+	EventStart EventKind = iota
+	// EventDone fires when a job completes (hit, run, or error).
+	EventDone
+)
+
+// Event is one progress notification. Completed/Total describe the
+// surrounding batch at emission time.
+type Event struct {
+	Kind       EventKind
+	Key, Bench string
+	Cached     bool
+	Err        error
+	Elapsed    time.Duration
+	Completed  int
+	Total      int
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Shards is the number of cache stripes (default 16).
+	Shards int
+	// Workers bounds concurrent job executions (default GOMAXPROCS via
+	// runtime at New time; waiters on in-flight duplicates do not hold a
+	// worker slot).
+	Workers int
+	// OnProgress, when set, receives per-job progress events. It may be
+	// called from many goroutines concurrently and must be safe for that.
+	OnProgress func(Event)
+}
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	// Hits counts jobs served from the cache or from an in-flight
+	// duplicate; Misses counts jobs that claimed an execution slot.
+	Hits, Misses uint64
+	// Runs counts executions actually started (a miss that is cancelled
+	// while queued for a worker slot never becomes a run).
+	Runs uint64
+	// Entries is the number of cached results; ShardEntries is its
+	// per-shard distribution.
+	Entries      int
+	ShardEntries []int
+}
+
+// Engine schedules jobs over a striped result cache and a bounded worker
+// pool. The zero value is not usable; call New.
+type Engine[V any] struct {
+	shards []shard[V]
+	sem    chan struct{}
+	onProg func(Event)
+
+	hits, misses, runs atomic.Uint64
+}
+
+// New builds an Engine. workers <= 0 selects one worker per logical CPU.
+func New[V any](opts Options) *Engine[V] {
+	ns := opts.Shards
+	if ns <= 0 {
+		ns = 16
+	}
+	nw := opts.Workers
+	if nw <= 0 {
+		nw = defaultWorkers()
+	}
+	e := &Engine[V]{
+		shards: make([]shard[V], ns),
+		sem:    make(chan struct{}, nw),
+		onProg: opts.OnProgress,
+	}
+	for i := range e.shards {
+		e.shards[i].m = map[string]*entry[V]{}
+	}
+	return e
+}
+
+// Workers reports the size of the worker pool.
+func (e *Engine[V]) Workers() int { return cap(e.sem) }
+
+// shardFor maps a cache key onto its stripe with FNV-1a.
+func (e *Engine[V]) shardFor(key string) *shard[V] {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &e.shards[h.Sum32()%uint32(len(e.shards))]
+}
+
+// RunBatch schedules every job, waits for all of them, and returns their
+// results in submission order (deterministic reduction: position i of the
+// output always corresponds to jobs[i], whatever the completion order).
+// The returned error is the first job error in submission order — under
+// cancellation, typically ctx.Err(). Partial results are still returned.
+func (e *Engine[V]) RunBatch(ctx context.Context, jobs []Job[V]) ([]JobResult[V], error) {
+	out := make([]JobResult[V], len(jobs))
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			job := jobs[i]
+			e.emit(Event{Kind: EventStart, Key: job.Key, Bench: job.Bench,
+				Completed: int(completed.Load()), Total: len(jobs)})
+			start := time.Now()
+			val, cached, err := e.resolve(ctx, job)
+			elapsed := time.Since(start)
+			out[i] = JobResult[V]{Key: job.Key, Bench: job.Bench,
+				Value: val, Err: err, Cached: cached, Elapsed: elapsed}
+			e.emit(Event{Kind: EventDone, Key: job.Key, Bench: job.Bench,
+				Cached: cached, Err: err, Elapsed: elapsed,
+				Completed: int(completed.Add(1)), Total: len(jobs)})
+		}(i)
+	}
+	wg.Wait()
+	for i := range out {
+		if out[i].Err != nil {
+			return out, out[i].Err
+		}
+	}
+	return out, nil
+}
+
+// Run schedules a single job.
+func (e *Engine[V]) Run(ctx context.Context, job Job[V]) (JobResult[V], error) {
+	rs, err := e.RunBatch(ctx, []Job[V]{job})
+	return rs[0], err
+}
+
+// resolve returns the job's value, serving from cache when possible and
+// executing under a worker slot otherwise. The bool reports a cache hit.
+func (e *Engine[V]) resolve(ctx context.Context, job Job[V]) (V, bool, error) {
+	var zero V
+	key := job.cacheKey()
+	sh := e.shardFor(key)
+
+	for {
+		// A select with both a free worker slot and a dead context ready
+		// picks randomly; check first so cancelled batches never start new
+		// work (and the retry loop below always terminates for us).
+		if err := ctx.Err(); err != nil {
+			return zero, false, err
+		}
+
+		sh.mu.Lock()
+		if ent, ok := sh.m[key]; ok {
+			sh.mu.Unlock()
+			// Completed or in flight: wait for the owner rather than
+			// duplicating the simulation.
+			select {
+			case <-ent.done:
+				if ent.err != nil {
+					// The owner failed with an error of its own — possibly
+					// its caller's cancellation, which says nothing about
+					// our context. The entry was unpublished before done
+					// closed, so retry: we either become the new owner and
+					// get a result (or an error that is genuinely ours), or
+					// wait on a fresh owner.
+					continue
+				}
+				e.hits.Add(1)
+				return ent.val, true, nil
+			case <-ctx.Done():
+				return zero, false, ctx.Err()
+			}
+		}
+		ent := &entry[V]{done: make(chan struct{})}
+		sh.m[key] = ent
+		sh.mu.Unlock()
+		e.misses.Add(1)
+
+		// Claim a worker slot; on cancellation unpublish the entry so a
+		// later attempt can retry, and release any waiters with the error
+		// (they retry, see above).
+		select {
+		case e.sem <- struct{}{}:
+		case <-ctx.Done():
+			sh.remove(key)
+			ent.err = ctx.Err()
+			close(ent.done)
+			return zero, false, ctx.Err()
+		}
+
+		e.runs.Add(1)
+		val, err := job.Run(ctx)
+		<-e.sem
+		if err != nil {
+			sh.remove(key)
+			ent.err = err
+			close(ent.done)
+			return zero, false, err
+		}
+		ent.val = val
+		close(ent.done)
+		return val, false, nil
+	}
+}
+
+// Stats snapshots the engine counters and cache occupancy.
+func (e *Engine[V]) Stats() Stats {
+	s := Stats{
+		Hits:         e.hits.Load(),
+		Misses:       e.misses.Load(),
+		Runs:         e.runs.Load(),
+		ShardEntries: make([]int, len(e.shards)),
+	}
+	for i := range e.shards {
+		n := e.shards[i].len()
+		s.ShardEntries[i] = n
+		s.Entries += n
+	}
+	return s
+}
+
+func (e *Engine[V]) emit(ev Event) {
+	if e.onProg != nil {
+		e.onProg(ev)
+	}
+}

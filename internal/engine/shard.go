@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// shard is one stripe of the result cache. Entries are published before
+// execution starts so concurrent requests for the same job collapse onto
+// one owner; waiters block on done instead of holding the shard mutex.
+type shard[V any] struct {
+	mu sync.Mutex
+	m  map[string]*entry[V]
+}
+
+// entry is one cached (or in-flight) result. done is closed exactly once,
+// after val/err become valid.
+type entry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+func (s *shard[V]) remove(key string) {
+	s.mu.Lock()
+	delete(s.m, key)
+	s.mu.Unlock()
+}
+
+func (s *shard[V]) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }

@@ -2,10 +2,13 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 
 	"bebop/internal/core"
+	"bebop/internal/engine"
 )
 
 // fastOpts keeps experiment tests quick: a 4-benchmark subset spanning
@@ -131,6 +134,62 @@ func TestExperimentIDsComplete(t *testing.T) {
 		if !strings.Contains(ids, want) {
 			t.Fatalf("experiment %s missing from %s", want, ids)
 		}
+	}
+}
+
+func TestRenderFormats(t *testing.T) {
+	r := NewRunner(Options{Insts: 10_000, Workloads: []string{"gzip", "swim"}})
+
+	var jsonBuf bytes.Buffer
+	if err := r.RenderFormat(&jsonBuf, "table2", engine.FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	var reports []engine.Report
+	if err := json.Unmarshal(jsonBuf.Bytes(), &reports); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if len(reports) != 1 || reports[0].ID != "table2" || len(reports[0].Rows) != 2 {
+		t.Fatalf("unexpected JSON report: %+v", reports)
+	}
+
+	var csvBuf bytes.Buffer
+	if err := r.RenderFormat(&csvBuf, "table3", engine.FormatCSV); err != nil {
+		t.Fatal(err)
+	}
+	out := csvBuf.String()
+	if !strings.HasPrefix(out, "# table3:") || !strings.Contains(out, "label,npred") {
+		t.Fatalf("unexpected CSV output:\n%s", out)
+	}
+
+	if err := r.RenderFormat(&bytes.Buffer{}, "bogus", engine.FormatJSON); err == nil {
+		t.Fatal("bogus experiment id accepted")
+	}
+}
+
+func TestRunnerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRunner(Options{Insts: 10_000, Workloads: []string{"gzip"}}).WithContext(ctx)
+	var buf bytes.Buffer
+	if err := r.RunAndRender(&buf, "table2"); err == nil {
+		t.Fatal("cancelled render succeeded")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("cancelled render wrote %d bytes of partial output", buf.Len())
+	}
+	if _, err := r.Report("fig5b"); err == nil {
+		t.Fatal("cancelled report succeeded")
+	}
+}
+
+func TestWithWorkloadsSharesCache(t *testing.T) {
+	r := NewRunner(Options{Insts: 10_000, Workloads: []string{"gzip", "swim"}})
+	r.Results("Baseline_6_60", core.Baseline())
+	sub := r.WithWorkloads([]string{"gzip"})
+	sub.Results("Baseline_6_60", nil) // must be a pure cache hit: nil factory
+	st := r.Engine().Stats()
+	if st.Runs != 2 || st.Hits != 1 {
+		t.Fatalf("runs=%d hits=%d, want 2 runs and 1 hit", st.Runs, st.Hits)
 	}
 }
 

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
+
+	"bebop/internal/engine"
 )
 
 // RenderTable2 prints Table II rows.
@@ -94,8 +97,35 @@ func ExperimentIDs() []string {
 	return []string{"table2", "fig5a", "fig5b", "fig6a", "fig6b", "partial", "fig7a", "fig7b", "table3", "fig8", "ablation"}
 }
 
-// RunAndRender executes the named experiment and renders it to w.
+// RunAndRender executes the named experiment and renders it to w in the
+// classic text layout. Output is buffered so that a scheduling failure
+// (e.g. context cancellation) yields an error instead of a partial table.
 func (r *Runner) RunAndRender(w io.Writer, id string) error {
+	var buf bytes.Buffer
+	if err := r.renderText(&buf, id); err != nil {
+		return err
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// RenderFormat executes the named experiment and renders it as text, JSON
+// or CSV.
+func (r *Runner) RenderFormat(w io.Writer, id string, f engine.Format) error {
+	if f == engine.FormatText {
+		return r.RunAndRender(w, id)
+	}
+	rep, err := r.Report(strings.ToLower(id))
+	if err != nil {
+		return err
+	}
+	return f.Write(w, rep)
+}
+
+func (r *Runner) renderText(w io.Writer, id string) error {
 	switch strings.ToLower(id) {
 	case "table2":
 		RenderTable2(w, r.Table2())
@@ -120,7 +150,7 @@ func (r *Runner) RunAndRender(w io.Writer, id string) error {
 	case "ablation":
 		RenderSummaries(w, "Ablation: predictor lineages over Baseline_6_60", r.Ablations())
 	default:
-		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, ExperimentIDs())
+		return fmt.Errorf("experiments: %w %q (have %v)", ErrUnknownExperiment, id, ExperimentIDs())
 	}
 	return nil
 }

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bebop/internal/engine"
+)
+
+// Report runs the named experiment and returns it as a format-independent
+// engine.Report, the machine-readable counterpart of RunAndRender.
+func (r *Runner) Report(id string) (engine.Report, error) {
+	var rep engine.Report
+	switch id {
+	case "table2":
+		rep = table2Report(r.Table2())
+	case "fig5a":
+		rep = seriesReport(id, "Fig. 5(a): predictors over Baseline_6_60", r.Fig5a())
+	case "fig5b":
+		rep = seriesReport(id, "Fig. 5(b): EOLE_4_60 over Baseline_VP_6_60", []Series{r.Fig5b()})
+	case "fig6a":
+		rep = summaryReport(id, "Fig. 6(a): predictions per entry (speedup over EOLE_4_60)", r.Fig6a())
+	case "fig6b":
+		rep = summaryReport(id, "Fig. 6(b): structure sizes (speedup over EOLE_4_60)", r.Fig6b())
+	case "partial":
+		rep = strideReport(r.PartialStrides())
+	case "fig7a":
+		rep = summaryReport(id, "Fig. 7(a): recovery policies (speedup over EOLE_4_60)", r.Fig7a())
+	case "fig7b":
+		rep = summaryReport(id, "Fig. 7(b): speculative window size (speedup over EOLE_4_60)", r.Fig7b())
+	case "table3":
+		rep = table3Report(Table3())
+	case "fig8":
+		rep = seriesReport(id, "Fig. 8: final configurations over Baseline_6_60", r.Fig8())
+	case "ablation":
+		rep = summaryReport(id, "Ablation: predictor lineages over Baseline_6_60", r.Ablations())
+	default:
+		return engine.Report{}, fmt.Errorf("experiments: %w %q (have %v)", ErrUnknownExperiment, id, ExperimentIDs())
+	}
+	if r.err != nil {
+		return engine.Report{}, r.err
+	}
+	return rep, nil
+}
+
+// Reports runs several experiments and collects their reports.
+func (r *Runner) Reports(ids []string) ([]engine.Report, error) {
+	out := make([]engine.Report, 0, len(ids))
+	for _, id := range ids {
+		rep, err := r.Report(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+func table2Report(rows []BenchIPC) engine.Report {
+	rep := engine.Report{
+		ID:      "table2",
+		Title:   "Table II: baseline IPC per workload",
+		Columns: []string{"suite", "type", "ipc", "paper_ipc"},
+	}
+	for _, r := range rows {
+		typ := "FP"
+		if r.INT {
+			typ = "INT"
+		}
+		rep.Rows = append(rep.Rows, engine.Row{Label: r.Bench, Cells: []any{
+			engine.Str(r.Suite), engine.Str(typ), engine.Num(r.IPC), engine.Num(r.PaperIPC),
+		}})
+	}
+	return rep
+}
+
+// seriesReport lays series out like Fig. 5/8: one row per benchmark, one
+// column per series, plus a final gmean row.
+func seriesReport(id, title string, series []Series) engine.Report {
+	rep := engine.Report{ID: id, Title: title}
+	for _, s := range series {
+		rep.Columns = append(rep.Columns, s.Name)
+	}
+	if len(series) == 0 {
+		return rep
+	}
+	for i, b := range series[0].Bench {
+		row := engine.Row{Label: b}
+		for _, s := range series {
+			v := 0.0
+			if i < len(s.Speedup) {
+				v = s.Speedup[i]
+			}
+			row.Cells = append(row.Cells, engine.Num(v))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	gm := engine.Row{Label: "gmean"}
+	for _, s := range series {
+		gm.Cells = append(gm.Cells, engine.Num(s.Summary.GMean))
+	}
+	rep.Rows = append(rep.Rows, gm)
+	return rep
+}
+
+// summaryReport lays series out like Fig. 6/7: one row per configuration
+// with its box-plot summary.
+func summaryReport(id, title string, series []Series) engine.Report {
+	rep := engine.Report{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"min", "q1", "median", "q3", "max", "gmean"},
+	}
+	for _, s := range series {
+		rep.Rows = append(rep.Rows, engine.Row{Label: s.Name, Cells: []any{
+			engine.Num(s.Summary.Min), engine.Num(s.Summary.Q1), engine.Num(s.Summary.Median),
+			engine.Num(s.Summary.Q3), engine.Num(s.Summary.Max), engine.Num(s.Summary.GMean),
+		}})
+	}
+	return rep
+}
+
+func strideReport(rows []StrideRow) engine.Report {
+	rep := engine.Report{
+		ID:      "partial",
+		Title:   "Partial strides (Section VI-B(a))",
+		Columns: []string{"gmean", "min", "size_kb"},
+	}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, engine.Row{Label: fmt.Sprintf("%d-bit", r.Bits), Cells: []any{
+			engine.Num(r.Series.Summary.GMean), engine.Num(r.Series.Summary.Min), engine.Num(r.StorageKB),
+		}})
+	}
+	return rep
+}
+
+func table3Report(rows []StorageRow) engine.Report {
+	rep := engine.Report{
+		ID:      "table3",
+		Title:   "Table III: final predictor configurations",
+		Columns: []string{"npred", "base_entries", "specwin", "stride_bits", "kb", "paper_kb"},
+	}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, engine.Row{Label: r.Name, Cells: []any{
+			engine.Int(r.NPred), engine.Int(r.BaseEnts), engine.Int(r.WinSize),
+			engine.Int(r.StrideBit), engine.Num(r.KB), engine.Num(r.PaperKB),
+		}})
+	}
+	return rep
+}

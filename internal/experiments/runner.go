@@ -1,20 +1,30 @@
 // Package experiments reproduces every table and figure of the paper's
 // evaluation (Section VI): each runner executes the required configuration
 // sweep over the Table II workload suite and returns the same rows/series
-// the paper reports. Speedup baselines are cached and shared across
-// experiments within a Runner.
+// the paper reports. Simulations are scheduled through internal/engine, a
+// sharded job engine that caches per-configuration cycle counts so shared
+// baselines (Baseline_6_60, Baseline_VP_6_60, EOLE_4_60) simulate once per
+// session — across experiments and, for the serving front-end, across
+// requests.
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"runtime"
-	"sort"
-	"sync"
 
 	"bebop/internal/core"
+	"bebop/internal/engine"
 	"bebop/internal/pipeline"
 	"bebop/internal/util"
 	"bebop/internal/workload"
+)
+
+// Sentinel errors, so front-ends can map failures onto protocol statuses
+// with errors.Is instead of matching message text.
+var (
+	ErrUnknownExperiment = errors.New("unknown experiment")
+	ErrUnknownBenchmark  = errors.New("unknown benchmark")
 )
 
 // Options controls an experiment session.
@@ -25,6 +35,8 @@ type Options struct {
 	Workloads []string
 	// Parallel bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallel int
+	// OnProgress, when set, streams per-simulation engine events.
+	OnProgress func(engine.Event)
 }
 
 // DefaultOptions runs the full suite at 100K instructions per workload, a
@@ -33,23 +45,56 @@ func DefaultOptions() Options {
 	return Options{Insts: 100_000}
 }
 
-// Runner executes experiments, caching per-configuration cycle counts so
-// shared baselines (Baseline_6_60, Baseline_VP_6_60, EOLE_4_60) simulate
-// once per session.
+// Runner executes experiments on top of a shared engine. Scheduling
+// failures are recorded on the Runner (see Err) rather than returned by
+// every figure method, so a Runner is NOT safe for concurrent use by
+// multiple goroutines: derive one view per goroutine/request with
+// WithContext or WithWorkloads — the underlying engine and its result
+// cache are shared and fully concurrent.
 type Runner struct {
 	opts Options
-
-	mu    sync.Mutex
-	cache map[string]map[string]pipeline.Result // config key -> bench -> result
+	eng  *engine.Engine[pipeline.Result]
+	ctx  context.Context
+	err  error
 }
 
-// NewRunner builds a Runner.
+// NewRunner builds a Runner with a fresh engine.
 func NewRunner(opts Options) *Runner {
 	if opts.Insts <= 0 {
 		opts.Insts = DefaultOptions().Insts
 	}
-	return &Runner{opts: opts, cache: map[string]map[string]pipeline.Result{}}
+	return &Runner{
+		opts: opts,
+		ctx:  context.Background(),
+		eng: engine.New[pipeline.Result](engine.Options{
+			Workers:    opts.Parallel,
+			OnProgress: opts.OnProgress,
+		}),
+	}
 }
+
+// WithContext returns a Runner bound to ctx that shares this Runner's
+// engine and cache. Cancellation and errors stay scoped to the copy.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	return &Runner{opts: r.opts, eng: r.eng, ctx: ctx}
+}
+
+// WithWorkloads returns a Runner restricted to the named benchmarks that
+// shares this Runner's engine and cache (safe: results are cached per
+// (configuration, benchmark), independent of the selection).
+func (r *Runner) WithWorkloads(names []string) *Runner {
+	cp := *r
+	cp.opts.Workloads = names
+	cp.err = nil
+	return &cp
+}
+
+// Engine exposes the underlying engine (cache statistics, worker count).
+func (r *Runner) Engine() *engine.Engine[pipeline.Result] { return r.eng }
+
+// Err returns the first scheduling error seen by this Runner (typically
+// context cancellation), or nil.
+func (r *Runner) Err() error { return r.err }
 
 // Workloads returns the selected benchmark names in Table II order.
 func (r *Runner) Workloads() []string {
@@ -60,46 +105,36 @@ func (r *Runner) Workloads() []string {
 }
 
 // Results runs (or returns cached) simulations of every selected workload
-// under the configuration identified by key.
+// under the configuration identified by key. On cancellation it records
+// the error (see Err) and returns the partial results; downstream speedup
+// math skips missing benchmarks.
 func (r *Runner) Results(key string, mk core.ConfigFactory) map[string]pipeline.Result {
-	r.mu.Lock()
-	if m, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		return m
-	}
-	r.mu.Unlock()
-
 	names := r.Workloads()
-	out := make(map[string]pipeline.Result, len(names))
-	var omu sync.Mutex
-
-	par := r.opts.Parallel
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
+	jobs := make([]engine.Job[pipeline.Result], len(names))
+	for i, name := range names {
+		bench := name
+		jobs[i] = engine.Job[pipeline.Result]{
+			Key:   key,
+			Bench: bench,
+			Run: func(ctx context.Context) (pipeline.Result, error) {
+				prof, ok := workload.ProfileByName(bench)
+				if !ok {
+					return pipeline.Result{}, fmt.Errorf("experiments: %w %q", ErrUnknownBenchmark, bench)
+				}
+				return core.Run(prof, r.opts.Insts, mk), nil
+			},
+		}
 	}
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	for _, name := range names {
-		wg.Add(1)
-		go func(bench string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			prof, ok := workload.ProfileByName(bench)
-			if !ok {
-				panic(fmt.Sprintf("experiments: unknown benchmark %q", bench))
-			}
-			res := core.Run(prof, r.opts.Insts, mk)
-			omu.Lock()
-			out[bench] = res
-			omu.Unlock()
-		}(name)
+	rs, err := r.eng.RunBatch(r.ctx, jobs)
+	if err != nil && r.err == nil {
+		r.err = err
 	}
-	wg.Wait()
-
-	r.mu.Lock()
-	r.cache[key] = out
-	r.mu.Unlock()
+	out := make(map[string]pipeline.Result, len(rs))
+	for _, jr := range rs {
+		if jr.Err == nil {
+			out[jr.Bench] = jr.Value
+		}
+	}
 	return out
 }
 
@@ -164,14 +199,4 @@ func MaxOf(s Series) (bench string, v float64) {
 		}
 	}
 	return
-}
-
-// sortedKeys returns map keys in sorted order (stable rendering).
-func sortedKeys[V any](m map[string]V) []string {
-	ks := make([]string, 0, len(m))
-	for k := range m {
-		ks = append(ks, k)
-	}
-	sort.Strings(ks)
-	return ks
 }

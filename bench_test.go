@@ -183,6 +183,22 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(totalUOps)/b.Elapsed().Seconds(), "µops/s")
 }
 
+// BenchmarkSimulatorThroughputBeBoP measures the fully loaded hot path —
+// EOLE pipeline plus the block-based BeBoP infrastructure — so predictor-
+// side allocation or speed regressions are visible next to the baseline
+// number.
+func BenchmarkSimulatorThroughputBeBoP(b *testing.B) {
+	prof, _ := workload.ProfileByName("gcc")
+	mk := core.EOLEBeBoP("Medium", core.MediumConfig())
+	b.ResetTimer()
+	totalUOps := uint64(0)
+	for i := 0; i < b.N; i++ {
+		res := core.Run(prof, 50_000, mk)
+		totalUOps += res.UOps
+	}
+	b.ReportMetric(float64(totalUOps)/b.Elapsed().Seconds(), "µops/s")
+}
+
 // metric builds a ReportMetric unit from a series label (units must not
 // contain whitespace).
 func metric(prefix, name string) string {

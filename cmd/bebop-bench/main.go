@@ -1,0 +1,56 @@
+// Command bebop-bench records one simulator performance trajectory point:
+// it runs the pinned (configuration, workload) matrix of internal/perf
+// sequentially, measures wall time, simulation rate and allocation
+// behaviour per cell, prints a summary table and writes the machine-
+// readable report (by default BENCH_pipeline.json, the file committed at
+// the repository root so every PR's numbers are comparable).
+//
+// Usage:
+//
+//	bebop-bench                              # 50K insts/workload -> BENCH_pipeline.json
+//	bebop-bench -insts 200000 -out /tmp/b.json
+//	bebop-bench -insts 2000                  # CI smoke budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"bebop/internal/perf"
+)
+
+func main() {
+	insts := flag.Int64("insts", 50_000, "dynamic instructions per workload (half is warmup)")
+	out := flag.String("out", "BENCH_pipeline.json", "output JSON path ('' = don't write)")
+	note := flag.String("note", "", "free-form note carried into the report")
+	flag.Parse()
+
+	rep, err := perf.Measure(perf.Options{Insts: *insts, Note: *note})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "config\tbench\tinsts/s\tµops/s\tallocs/kinst\tKB\twall")
+	for _, p := range rep.Points {
+		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.0f\t%.2f\t%.0f\t%.3fs\n",
+			p.Config, p.Bench, p.InstsPerSec, p.UOpsPerSec,
+			p.AllocsPerKInst, float64(p.Bytes)/1024, p.WallSeconds)
+	}
+	fmt.Fprintf(tw, "TOTAL\t\t%.0f\t%.0f\t%.2f\t%.0f\t%.3fs\n",
+		rep.Totals.InstsPerSec, rep.Totals.UOpsPerSec,
+		rep.Totals.AllocsPerKInst, float64(rep.Totals.Bytes)/1024,
+		rep.Totals.WallSeconds)
+	tw.Flush()
+
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

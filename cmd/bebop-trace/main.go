@@ -43,9 +43,18 @@ func main() {
 				uops++
 			}
 		}
-		fmt.Printf("instructions %d, µ-ops %d (%.2f µ-ops/inst)\n", insts, uops, float64(uops)/float64(insts))
+		// Guard the rates: -n 0 emits nothing, and NaN% helps nobody.
+		uopsPerInst := 0.0
+		if insts > 0 {
+			uopsPerInst = float64(uops) / float64(insts)
+		}
+		fmt.Printf("instructions %d, µ-ops %d (%.2f µ-ops/inst)\n", insts, uops, uopsPerInst)
 		for c, cnt := range classes {
-			fmt.Printf("  %-8s %7d (%5.1f%%)\n", c, cnt, 100*float64(cnt)/float64(uops))
+			pct := 0.0
+			if uops > 0 {
+				pct = 100 * float64(cnt) / float64(uops)
+			}
+			fmt.Printf("  %-8s %7d (%5.1f%%)\n", c, cnt, pct)
 		}
 		fmt.Printf("branches: cond %d, direct %d, call %d, return %d\n",
 			branches[isa.BranchCond], branches[isa.BranchDirect],

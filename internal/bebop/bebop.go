@@ -11,13 +11,25 @@ import (
 	"bebop/internal/branch"
 	"bebop/internal/pipeline"
 	"bebop/internal/predictor"
+	"bebop/internal/ring"
 	"bebop/internal/specwindow"
 )
 
 // blockRec is one in-flight prediction block: a FIFO update queue entry.
 // It is created when the block is fetched and predicted, accumulates
 // retired values, and trains the predictor when a younger block retires.
+//
+// Records are pooled. gen counts lifetimes: it is bumped every time the
+// record is freed, and µ-ops snapshot it at attribution (UOp.VPGen), so a
+// µ-op holding a reference across the record's free — which happens under
+// PolicyRepred, where the flush frees the head block while older,
+// non-squashed µ-ops of that block are still in flight — is detected as
+// stale and ignored instead of training through a recycled record. live
+// guards against double frees.
 type blockRec struct {
+	gen  uint64
+	live bool
+
 	blockPC uint64
 	seq     uint64 // sequence number of the first µ-op at creation
 	lookup  predictor.BlockLookup
@@ -44,7 +56,7 @@ type BlockVP struct {
 	policy specwindow.Policy
 
 	// fifo is the FIFO update queue, oldest block first.
-	fifo []*blockRec
+	fifo ring.Ring[*blockRec]
 	// reuseRec, when set, is the flush-surviving head block whose
 	// predictions the next fetch of the same block reuses (DnRR/DnRDnR).
 	reuseRec *blockRec
@@ -113,16 +125,33 @@ func (b *BlockVP) allocRec() *blockRec {
 	if n := len(b.pool); n > 0 {
 		r := b.pool[n-1]
 		b.pool = b.pool[:n-1]
-		*r = blockRec{}
+		*r = blockRec{gen: r.gen, live: true}
 		return r
 	}
-	return &blockRec{}
+	return &blockRec{live: true}
 }
 
+// freeRec retires a record: the generation bump invalidates every µ-op
+// still holding a reference (their VPGen snapshot no longer matches).
 func (b *BlockVP) freeRec(r *blockRec) {
+	if !r.live {
+		panic("bebop: blockRec double free")
+	}
+	r.live = false
+	r.gen++
 	if len(b.pool) < 256 {
 		b.pool = append(b.pool, r)
 	}
+}
+
+// recOf resolves a µ-op's record reference, returning nil when the µ-op
+// was never attributed or its record has since been freed (stale).
+func recOf(u *pipeline.UOp) *blockRec {
+	rec, _ := u.VPRec.(*blockRec)
+	if rec == nil || !rec.live || rec.gen != u.VPGen {
+		return nil
+	}
+	return rec
 }
 
 // OnFetchBlock implements pipeline.VP: one predictor access per block
@@ -178,7 +207,7 @@ func (b *BlockVP) OnFetchBlock(blockPC, firstSeq uint64, hist *branch.History, u
 	}
 
 	b.win.Insert(blockPC, firstSeq, winVals, winHas)
-	b.fifo = append(b.fifo, rec)
+	b.fifo.PushBack(rec)
 	b.attribute(rec, uops)
 }
 
@@ -191,6 +220,7 @@ func (b *BlockVP) attribute(rec *blockRec, uops []*pipeline.UOp) {
 	lvtHit := rec.lookup.LVTHit
 	for _, u := range uops {
 		u.VPRec = rec
+		u.VPGen = rec.gen
 		u.VPSlot = -1
 		if !u.Eligible {
 			continue
@@ -220,15 +250,19 @@ func (b *BlockVP) attribute(rec *blockRec, uops []*pipeline.UOp) {
 // byte tag. A retire belonging to a younger block finalizes and trains all
 // older blocks ("an entry is updated as soon as an instruction belonging
 // to a block different than the one being built is retired").
+//
+// A µ-op whose record was freed under it (PolicyRepred flush, see
+// blockRec) is ignored: walking the FIFO towards a record that is no
+// longer in it would otherwise train and drain every in-flight block and
+// write the slot update into a recycled record owned by another block.
 func (b *BlockVP) OnRetire(u *pipeline.UOp) {
-	rec, _ := u.VPRec.(*blockRec)
+	rec := recOf(u)
 	if rec == nil {
 		return
 	}
 	// Train every strictly older completed block.
-	for len(b.fifo) > 0 && b.fifo[0] != rec {
-		b.train(b.fifo[0])
-		b.fifo = b.fifo[1:]
+	for b.fifo.Len() > 0 && b.fifo.Front() != rec {
+		b.train(b.fifo.PopFront())
 	}
 
 	if !u.Eligible {
@@ -284,12 +318,16 @@ func (b *BlockVP) train(rec *blockRec) {
 }
 
 // OnSquash implements pipeline.VP: a squashed µ-op releases its slot so a
-// refetch can re-attribute it.
+// refetch can re-attribute it. Stale references (record already freed and
+// possibly recycled for another block) are dropped without touching the
+// record: clearing consumed state through them would corrupt the new
+// owner's attribution.
 func (b *BlockVP) OnSquash(u *pipeline.UOp) {
-	if rec, _ := u.VPRec.(*blockRec); rec != nil && u.VPSlot >= 0 {
+	if rec := recOf(u); rec != nil && u.VPSlot >= 0 {
 		rec.consumed[u.VPSlot] = false
 	}
 	u.VPRec = nil
+	u.VPGen = 0
 	u.VPSlot = -1
 }
 
@@ -299,20 +337,18 @@ func (b *BlockVP) OnSquash(u *pipeline.UOp) {
 // the configured recovery policy decides whether its surviving prediction
 // block is reused, quarantined or re-predicted (Section IV-A).
 func (b *BlockVP) OnFlush(keepSeq uint64, newBlockPC uint64) {
-	// Roll back strictly-younger blocks.
-	n := len(b.fifo)
-	for n > 0 && b.fifo[n-1].seq > keepSeq {
-		b.freeRec(b.fifo[n-1])
-		n--
+	// Roll back strictly-younger blocks. Their µ-ops were all squashed
+	// (and detached) before OnFlush, so freeing is safe.
+	for b.fifo.Len() > 0 && b.fifo.Back().seq > keepSeq {
+		b.freeRec(b.fifo.PopBack())
 	}
-	b.fifo = b.fifo[:n]
 	b.win.SquashYoungerThan(keepSeq)
 	b.reuseRec = nil
 
-	if n == 0 {
+	if b.fifo.Len() == 0 {
 		return
 	}
-	head := b.fifo[n-1]
+	head := b.fifo.Back()
 	if head.blockPC != newBlockPC {
 		return
 	}
@@ -322,9 +358,12 @@ func (b *BlockVP) OnFlush(keepSeq uint64, newBlockPC uint64) {
 		// in the head block; the refetch re-predicts through a fresh
 		// block that chains off the head's window entry. Nothing to do.
 	case specwindow.PolicyRepred:
-		// Squash the head; the refetch re-predicts from scratch.
+		// Squash the head; the refetch re-predicts from scratch. Older,
+		// non-squashed µ-ops of the head block may still be in flight
+		// holding references — the generation bump in freeRec makes them
+		// stale, so their later retire/squash callbacks are no-ops.
 		b.win.InvalidateSeq(head.seq)
-		b.fifo = b.fifo[:n-1]
+		b.fifo.PopBack()
 		b.freeRec(head)
 	case specwindow.PolicyDnRR:
 		head.noUse = false

@@ -216,7 +216,7 @@ func TestFlushRollsBackWindow(t *testing.T) {
 	if e := b.Window().Lookup(0xB0000); e != nil {
 		t.Fatal("window entry survived a flush that squashed its block")
 	}
-	if len(b.fifo) != 0 {
+	if b.fifo.Len() != 0 {
 		t.Fatal("update queue entry survived the flush")
 	}
 }

@@ -32,6 +32,15 @@ func NewBTB(totalEntries, ways int) *BTB {
 	}
 }
 
+// Reset clears the BTB in place, reusing the entry array.
+func (b *BTB) Reset() {
+	for i := range b.entries {
+		b.entries[i] = btbEntry{}
+	}
+	b.clock = 0
+	b.Lookups, b.Hits = 0, 0
+}
+
 func (b *BTB) set(pc uint64) (int, uint64) {
 	idx := int(util.Mix64(pc) & uint64(b.sets-1))
 	tag := pc
@@ -91,6 +100,11 @@ type RAS struct {
 // NewRAS builds a RAS with n entries.
 func NewRAS(n int) *RAS {
 	return &RAS{stack: make([]uint64, n)}
+}
+
+// Reset empties the stack, reusing its storage.
+func (r *RAS) Reset() {
+	r.top, r.depth = 0, 0
 }
 
 // Push records a return address (on a call).

@@ -99,6 +99,26 @@ func NewTAGE(cfg TAGEConfig) *TAGE {
 	return t
 }
 
+// Reset clears the predictor back to its freshly-built state, reusing the
+// table allocations: counters, tags, usefulness bits and the RNG all
+// return to their NewTAGE values, so a Reset predictor behaves identically
+// to a new one.
+func (t *TAGE) Reset() {
+	for i := range t.base {
+		t.base[i] = 0
+	}
+	for c := range t.comps {
+		ents := t.comps[c].entries
+		for i := range ents {
+			ents[i] = tageEntry{}
+		}
+	}
+	t.rng = util.NewRNG(t.cfg.Seed)
+	t.useAltOnNA = 0
+	t.tick = 0
+	t.Lookups, t.Mispredicts = 0, 0
+}
+
 func pow(x, y float64) float64 {
 	// Small private pow via exp/log would drag in math; iterate instead.
 	// y is 1/(n-1) with small n, so use Newton on r^(n-1)=x.

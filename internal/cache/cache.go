@@ -62,6 +62,19 @@ func NewCache(name string, cfg Config) *Cache {
 	}
 }
 
+// Reset invalidates every line and clears MSHRs and statistics, reusing
+// the tag/LRU arrays: a Reset cache behaves identically to a new one.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.tags[i] = 0
+		c.lastUse[i] = 0
+	}
+	c.clock = 0
+	clear(c.mshrs)
+	c.Accesses, c.Misses, c.PrefetchFills = 0, 0, 0
+}
+
 func (c *Cache) set(line uint64) int {
 	return int(line & uint64(c.sets-1))
 }
@@ -151,6 +164,18 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 	return h
 }
 
+// Reset clears every level, the DRAM model and the prefetcher in place,
+// reusing all allocations.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.Mem.Reset()
+	if h.Prefetch != nil {
+		h.Prefetch.Reset()
+	}
+}
+
 // accessThrough performs an access at level c backed by lower, returning
 // the cycle at which data is available. now is the access cycle.
 func (h *Hierarchy) accessThrough(c *Cache, line uint64, now int64, lower func(int64) int64) int64 {
@@ -230,12 +255,18 @@ func (h *Hierarchy) accessL2(pc, line uint64, now int64) int64 {
 // the L2 demand stream.
 type StridePrefetcher struct {
 	degree  int
-	entries [256]struct {
-		pc       uint64
-		lastLine uint64
-		stride   int64
-		conf     int8
-	}
+	entries [256]strideEntry
+	// buf is the reusable prefetch-line buffer returned by Observe; the
+	// caller must consume it before the next Observe call.
+	buf []uint64
+}
+
+// strideEntry is one PC-indexed prefetcher training record.
+type strideEntry struct {
+	pc       uint64
+	lastLine uint64
+	stride   int64
+	conf     int8
 }
 
 // NewStridePrefetcher builds a prefetcher with the given degree.
@@ -243,7 +274,16 @@ func NewStridePrefetcher(degree int) *StridePrefetcher {
 	return &StridePrefetcher{degree: degree}
 }
 
+// Reset clears the prefetcher's training state in place.
+func (p *StridePrefetcher) Reset() {
+	for i := range p.entries {
+		p.entries[i] = strideEntry{}
+	}
+}
+
 // Observe trains on a demand access and returns the lines to prefetch.
+// The returned slice aliases an internal buffer that is overwritten by the
+// next Observe call; callers must not retain it.
 func (p *StridePrefetcher) Observe(pc, line uint64) []uint64 {
 	e := &p.entries[util.Mix64(pc)&0xFF]
 	if e.pc != pc {
@@ -267,7 +307,10 @@ func (p *StridePrefetcher) Observe(pc, line uint64) []uint64 {
 	if e.conf < 2 {
 		return nil
 	}
-	out := make([]uint64, 0, p.degree)
+	if p.buf == nil {
+		p.buf = make([]uint64, 0, p.degree)
+	}
+	out := p.buf[:0]
 	next := int64(line)
 	for i := 0; i < p.degree; i++ {
 		next += stride
@@ -276,5 +319,6 @@ func (p *StridePrefetcher) Observe(pc, line uint64) []uint64 {
 		}
 		out = append(out, uint64(next))
 	}
+	p.buf = out
 	return out
 }

@@ -52,6 +52,16 @@ func NewMemory(cfg MemConfig) *Memory {
 	return m
 }
 
+// Reset clears the DRAM timing state in place, reusing the bank arrays.
+func (m *Memory) Reset() {
+	for i := range m.bankFree {
+		m.bankFree[i] = 0
+		m.openRow[i] = ^uint64(0)
+	}
+	m.busFree = 0
+	m.Accesses, m.RowHits = 0, 0
+}
+
 // Access performs a line-fill read beginning no earlier than cycle now and
 // returns the data-available cycle.
 func (m *Memory) Access(line uint64, now int64) int64 {

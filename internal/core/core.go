@@ -15,8 +15,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"bebop/internal/bebop"
+	"bebop/internal/isa"
 	"bebop/internal/pipeline"
 	"bebop/internal/predictor"
 	"bebop/internal/specwindow"
@@ -38,12 +40,33 @@ func Run(prof workload.Profile, insts int64, mk ConfigFactory) pipeline.Result {
 	return RunWarm(prof, warmup, insts, mk)
 }
 
+// procPool recycles processors across simulation jobs: engine workers and
+// sweeps run many (configuration, workload) pairs back to back, and
+// Processor.Reset clears the TAGE/BTB/cache/store-set tables in place
+// instead of reallocating them per job. Results are identical to a fresh
+// pipeline.New (see TestProcessorReuseDeterministic).
+var procPool = sync.Pool{}
+
+// acquireProc returns a processor armed for cfg over stream, reusing a
+// pooled one when available.
+func acquireProc(cfg pipeline.Config, stream isa.Stream) *pipeline.Processor {
+	if v := procPool.Get(); v != nil {
+		p := v.(*pipeline.Processor)
+		p.Reset(cfg, stream)
+		return p
+	}
+	return pipeline.New(cfg, stream)
+}
+
 // RunWarm simulates warmup+insts instructions, reporting statistics only
 // for the final insts.
 func RunWarm(prof workload.Profile, warmup, insts int64, mk ConfigFactory) pipeline.Result {
 	gen := workload.New(prof, warmup+insts)
-	proc := pipeline.New(mk(), gen)
-	return proc.RunWarm(warmup, 0)
+	proc := acquireProc(mk(), gen)
+	r := proc.RunWarm(warmup, 0)
+	proc.Release()
+	procPool.Put(proc)
+	return r
 }
 
 // RunByName is Run for a named Table II workload.

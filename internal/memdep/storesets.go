@@ -32,6 +32,16 @@ func New(n int) *StoreSets {
 	return s
 }
 
+// Reset clears the predictor in place, reusing the SSID/LFST tables.
+func (s *StoreSets) Reset() {
+	for i := range s.ssid {
+		s.ssid[i] = -1
+		s.lfst[i] = 0
+	}
+	s.nextID = 0
+	s.Violations = 0
+}
+
 func (s *StoreSets) idx(pc uint64) int {
 	return int(util.Mix64(pc) & uint64(len(s.ssid)-1))
 }

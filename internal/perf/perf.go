@@ -1,0 +1,205 @@
+// Package perf is the simulator's performance-trajectory harness: it runs
+// a pinned (configuration, workload) matrix with a fixed instruction
+// budget, measures wall time, simulation rate and allocation behaviour
+// per cell, and serializes the result as BENCH_pipeline.json. The file is
+// committed once per PR that touches the hot path, giving the repository
+// a comparable insts/sec and allocs-per-instruction trajectory across its
+// history instead of anecdotal one-off numbers.
+//
+// Measurement notes: allocation counts come from runtime.MemStats deltas
+// around each run, so Measure must not race with other allocating
+// goroutines if the numbers are to be meaningful — cmd/bebop-bench runs
+// the matrix sequentially for exactly that reason. A warmup run per cell
+// (not measured) fills the processor/µ-op pools the way a long-lived
+// engine worker would, so the numbers reflect steady state, not cold
+// start.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"bebop/internal/core"
+	"bebop/internal/workload"
+)
+
+// Schema identifies the BENCH_pipeline.json layout; bump on breaking
+// changes so trajectory tooling can tell files apart.
+const Schema = 1
+
+// PinnedWorkloads is the fixed benchmark subset every trajectory point
+// runs: predictable (swim), mixed (gcc, bzip2), memory-bound (mcf),
+// branchy (xalancbmk) and FP (milc) behaviour, so hot-path regressions on
+// any axis show up.
+func PinnedWorkloads() []string {
+	return []string{"swim", "gcc", "mcf", "bzip2", "xalancbmk", "milc"}
+}
+
+// Configs returns the pinned configuration matrix: the plain pipeline and
+// the full BeBoP EOLE stack, the two ends of the per-instruction work
+// spectrum.
+func Configs() []struct {
+	Name string
+	Mk   core.ConfigFactory
+} {
+	return []struct {
+		Name string
+		Mk   core.ConfigFactory
+	}{
+		{"Baseline_6_60", core.Baseline()},
+		{"EOLE_4_60/Medium", core.EOLEBeBoP("Medium", core.MediumConfig())},
+	}
+}
+
+// Point is one (configuration, workload) trajectory measurement.
+type Point struct {
+	Config string `json:"config"`
+	Bench  string `json:"bench"`
+
+	Insts uint64 `json:"insts"` // measured (post-warmup) instructions
+	UOps  uint64 `json:"uops"`
+	IPC   float64 `json:"ipc"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	InstsPerSec float64 `json:"insts_per_sec"`
+	UOpsPerSec  float64 `json:"uops_per_sec"`
+
+	// Allocations and bytes allocated during the run (runtime.MemStats
+	// delta), plus the headline allocations-per-kilo-instruction rate.
+	Allocs         uint64  `json:"allocs"`
+	Bytes          uint64  `json:"bytes"`
+	AllocsPerKInst float64 `json:"allocs_per_kinst"`
+}
+
+// Totals aggregates a report.
+type Totals struct {
+	WallSeconds    float64 `json:"wall_seconds"`
+	Insts          uint64  `json:"insts"`
+	UOps           uint64  `json:"uops"`
+	InstsPerSec    float64 `json:"insts_per_sec"`
+	UOpsPerSec     float64 `json:"uops_per_sec"`
+	Allocs         uint64  `json:"allocs"`
+	Bytes          uint64  `json:"bytes"`
+	AllocsPerKInst float64 `json:"allocs_per_kinst"`
+}
+
+// Report is one trajectory point: everything written to
+// BENCH_pipeline.json.
+type Report struct {
+	Schema           int     `json:"schema"`
+	Note             string  `json:"note,omitempty"`
+	GoVersion        string  `json:"go_version"`
+	GOOS             string  `json:"goos"`
+	GOARCH           string  `json:"goarch"`
+	InstsPerWorkload int64   `json:"insts_per_workload"`
+	Points           []Point `json:"points"`
+	Totals           Totals  `json:"totals"`
+}
+
+// Options configures Measure.
+type Options struct {
+	// Insts is the per-workload dynamic instruction budget (half is
+	// warmup, as in core.Run). <= 0 selects 50_000.
+	Insts int64
+	// Workloads overrides the pinned set (tests, smoke runs).
+	Workloads []string
+	// Note is carried into the report verbatim.
+	Note string
+}
+
+// Measure runs the pinned matrix sequentially and returns the report.
+func Measure(opts Options) (Report, error) {
+	insts := opts.Insts
+	if insts <= 0 {
+		insts = 50_000
+	}
+	benches := opts.Workloads
+	if benches == nil {
+		benches = PinnedWorkloads()
+	}
+	rep := Report{
+		Schema:           Schema,
+		Note:             opts.Note,
+		GoVersion:        runtime.Version(),
+		GOOS:             runtime.GOOS,
+		GOARCH:           runtime.GOARCH,
+		InstsPerWorkload: insts,
+	}
+	for _, cfg := range Configs() {
+		for _, bench := range benches {
+			prof, ok := workload.ProfileByName(bench)
+			if !ok {
+				return Report{}, fmt.Errorf("perf: unknown benchmark %q", bench)
+			}
+			// Unmeasured warmup run: fills the processor pool so the
+			// measured run sees the steady state an engine worker sees.
+			core.Run(prof, insts, cfg.Mk)
+
+			var m0, m1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			res := core.Run(prof, insts, cfg.Mk)
+			wall := time.Since(start).Seconds()
+			runtime.ReadMemStats(&m1)
+
+			p := Point{
+				Config:      cfg.Name,
+				Bench:       bench,
+				Insts:       res.Insts,
+				UOps:        res.UOps,
+				IPC:         res.IPC,
+				WallSeconds: wall,
+				Allocs:      m1.Mallocs - m0.Mallocs,
+				Bytes:       m1.TotalAlloc - m0.TotalAlloc,
+			}
+			if wall > 0 {
+				p.InstsPerSec = float64(res.Insts) / wall
+				p.UOpsPerSec = float64(res.UOps) / wall
+			}
+			if res.Insts > 0 {
+				p.AllocsPerKInst = 1000 * float64(p.Allocs) / float64(res.Insts)
+			}
+			rep.Points = append(rep.Points, p)
+
+			rep.Totals.WallSeconds += wall
+			rep.Totals.Insts += res.Insts
+			rep.Totals.UOps += res.UOps
+			rep.Totals.Allocs += p.Allocs
+			rep.Totals.Bytes += p.Bytes
+		}
+	}
+	if rep.Totals.WallSeconds > 0 {
+		rep.Totals.InstsPerSec = float64(rep.Totals.Insts) / rep.Totals.WallSeconds
+		rep.Totals.UOpsPerSec = float64(rep.Totals.UOps) / rep.Totals.WallSeconds
+	}
+	if rep.Totals.Insts > 0 {
+		rep.Totals.AllocsPerKInst = 1000 * float64(rep.Totals.Allocs) / float64(rep.Totals.Insts)
+	}
+	return rep, nil
+}
+
+// WriteFile serializes the report as indented JSON at path.
+func (r Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a previously written report (trajectory comparisons).
+func ReadFile(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, err
+	}
+	return r, nil
+}

@@ -1,0 +1,65 @@
+package perf
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestMeasureSmoke(t *testing.T) {
+	rep, err := Measure(Options{Insts: 2000, Workloads: []string{"gcc"}, Note: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != len(Configs()) {
+		t.Fatalf("got %d points, want one per config (%d)", len(rep.Points), len(Configs()))
+	}
+	for _, p := range rep.Points {
+		if p.Insts == 0 || p.UOps == 0 {
+			t.Fatalf("%s/%s: no instructions measured: %+v", p.Config, p.Bench, p)
+		}
+		if p.WallSeconds <= 0 || p.InstsPerSec <= 0 {
+			t.Fatalf("%s/%s: degenerate timing: %+v", p.Config, p.Bench, p)
+		}
+	}
+	if rep.Totals.Insts == 0 || rep.Totals.WallSeconds <= 0 {
+		t.Fatalf("degenerate totals: %+v", rep.Totals)
+	}
+}
+
+func TestMeasureUnknownBench(t *testing.T) {
+	if _, err := Measure(Options{Insts: 100, Workloads: []string{"nope"}}); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep, err := Measure(Options{Insts: 1000, Workloads: []string{"swim"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema || len(back.Points) != len(rep.Points) {
+		t.Fatalf("round trip mangled the report: %+v", back)
+	}
+	if back.Totals.Insts != rep.Totals.Insts {
+		t.Fatalf("totals mismatch: %d vs %d", back.Totals.Insts, rep.Totals.Insts)
+	}
+}
+
+func TestPinnedSetIsValid(t *testing.T) {
+	rep, err := Measure(Options{Insts: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(Configs()) * len(PinnedWorkloads())
+	if len(rep.Points) != want {
+		t.Fatalf("pinned matrix produced %d points, want %d", len(rep.Points), want)
+	}
+}

@@ -10,8 +10,8 @@ import "bebop/internal/isa"
 // the late execution stage preceding validation.
 func (p *Processor) commitStage() {
 	committed := 0
-	for committed < p.cfg.CommitWidth && len(p.rob) > 0 {
-		u := p.rob[0]
+	for committed < p.cfg.CommitWidth && p.rob.Len() > 0 {
+		u := p.rob.Front()
 		if p.now < u.FetchedAt+int64(p.cfg.MinFetchToCommit) {
 			break
 		}
@@ -27,7 +27,7 @@ func (p *Processor) commitStage() {
 			break
 		}
 
-		p.rob = p.rob[1:]
+		p.rob.PopFront()
 		u.Committed = true
 		p.inflightClear(u)
 		committed++
@@ -102,18 +102,18 @@ func (p *Processor) inflightClear(u *UOp) {
 }
 
 func (p *Processor) lqRemove(u *UOp) {
-	for i, l := range p.lq {
-		if l == u {
-			p.lq = append(p.lq[:i], p.lq[i+1:]...)
+	for i := 0; i < p.lq.Len(); i++ {
+		if p.lq.At(i) == u {
+			p.lq.RemoveAt(i)
 			return
 		}
 	}
 }
 
 func (p *Processor) sqRemove(u *UOp) {
-	for i, s := range p.sq {
-		if s == u {
-			p.sq = append(p.sq[:i], p.sq[i+1:]...)
+	for i := 0; i < p.sq.Len(); i++ {
+		if p.sq.At(i) == u {
+			p.sq.RemoveAt(i)
 			return
 		}
 	}

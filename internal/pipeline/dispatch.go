@@ -11,25 +11,25 @@ import "bebop/internal/isa"
 // the issue width shrink.
 func (p *Processor) dispatchStage() {
 	dispatched := 0
-	for dispatched < p.cfg.DispatchWidth && len(p.feQ) > 0 {
-		u := p.feQ[0]
+	for dispatched < p.cfg.DispatchWidth && p.feQ.Len() > 0 {
+		u := p.feQ.Front()
 		if p.now < u.FetchedAt+int64(p.cfg.FrontEndDepth) {
 			break
 		}
-		if len(p.rob) >= p.cfg.ROBSize {
+		if p.rob.Len() >= p.cfg.ROBSize {
 			break
 		}
-		if u.Class == isa.ClassLoad && len(p.lq) >= p.cfg.LQSize {
+		if u.Class == isa.ClassLoad && p.lq.Len() >= p.cfg.LQSize {
 			break
 		}
-		if u.Class == isa.ClassStore && len(p.sq) >= p.cfg.SQSize {
+		if u.Class == isa.ClassStore && p.sq.Len() >= p.cfg.SQSize {
 			break
 		}
 		needsIQ := p.classifyDispatch(u)
-		if needsIQ && len(p.iq) >= p.cfg.IQSize {
+		if needsIQ && p.iq.Len() >= p.cfg.IQSize {
 			break
 		}
-		p.feQ = p.feQ[1:]
+		p.feQ.PopFront()
 		p.dispatch(u, needsIQ)
 		dispatched++
 	}
@@ -72,7 +72,7 @@ func (p *Processor) dispatch(u *UOp, needsIQ bool) {
 	u.Dispatched = true
 	u.DispatchAt = p.now
 
-	p.rob = append(p.rob, u)
+	p.rob.PushBack(u)
 
 	switch u.Class {
 	case isa.ClassLoad:
@@ -81,10 +81,10 @@ func (p *Processor) dispatch(u *UOp, needsIQ bool) {
 				u.StoreDepSeq = seq
 			}
 		}
-		p.lq = append(p.lq, u)
+		p.lq.PushBack(u)
 	case isa.ClassStore:
 		p.sset.StoreFetched(u.PC, u.Seq)
-		p.sq = append(p.sq, u)
+		p.sq.PushBack(u)
 	}
 
 	if !needsIQ {
@@ -108,7 +108,7 @@ func (p *Processor) dispatch(u *UOp, needsIQ bool) {
 		}
 	} else {
 		u.InIQ = true
-		p.iq = append(p.iq, u)
+		p.iq.PushBack(u)
 	}
 
 	if u.Dest != isa.RegNone {

@@ -33,7 +33,7 @@ func (p *Processor) fetchStage() {
 	}
 
 	for {
-		if len(p.feQ) >= p.cfg.FetchQueueSize {
+		if p.feQ.Len() >= p.cfg.FetchQueueSize {
 			// Decode queue full: fetch stalls until dispatch drains it.
 			break
 		}
@@ -106,8 +106,8 @@ func (p *Processor) closeBlock() {
 
 // peekInst returns the next instruction to fetch without consuming it.
 func (p *Processor) peekInst() *dynInst {
-	if len(p.pending) > 0 {
-		return p.pending[0]
+	if p.pending.Len() > 0 {
+		return p.pending.Front()
 	}
 	if p.streamDone {
 		return nil
@@ -118,12 +118,12 @@ func (p *Processor) peekInst() *dynInst {
 		p.freeInst(di)
 		return nil
 	}
-	p.pending = append(p.pending, di)
+	p.pending.PushBack(di)
 	return di
 }
 
 func (p *Processor) consumeInst() {
-	p.pending = p.pending[1:]
+	p.pending.PopFront()
 }
 
 func (p *Processor) allocInst() *dynInst {
@@ -137,6 +137,12 @@ func (p *Processor) allocInst() *dynInst {
 }
 
 func (p *Processor) freeInst(di *dynInst) {
+	if di.pooled {
+		panic("pipeline: dynInst double free")
+	}
+	// Mark even when the pool is full and the object goes to the GC:
+	// the double-free guard must not lapse with pool occupancy.
+	di.pooled = true
 	if len(p.instPool) < 512 {
 		p.instPool = append(p.instPool, di)
 	}
@@ -149,24 +155,26 @@ func (p *Processor) activateInst(di *dynInst) {
 	in := &di.inst
 	boundary := uint8(isa.BlockOffset(in.PC))
 	blockPC := isa.BlockPC(in.PC)
-	// Size the µ-op slice, reusing pooled UOp objects where possible.
-	if cap(di.uops) < in.NumUOps {
-		old := di.uops
-		di.uops = make([]*UOp, len(old), in.NumUOps)
-		copy(di.uops, old)
+	// Size the µ-op slice. Re-expanding to capacity first recovers UOps a
+	// previous (narrower) activation sliced out of view — without this,
+	// every widening activation would leak the hidden objects and allocate
+	// replacements, defeating the pool.
+	uops := di.uops[:cap(di.uops)]
+	if len(uops) < in.NumUOps {
+		nu := make([]*UOp, isa.MaxUOpsPerInst)
+		copy(nu, uops)
+		uops = nu
 	}
-	for len(di.uops) < in.NumUOps {
-		di.uops = append(di.uops, &UOp{})
+	for i := 0; i < in.NumUOps; i++ {
+		if uops[i] == nil {
+			uops[i] = new(UOp)
+		}
 	}
-	di.uops = di.uops[:in.NumUOps]
+	di.uops = uops[:in.NumUOps]
 	di.committed = 0
 	di.pushedHist = false
 	for i := 0; i < in.NumUOps; i++ {
 		u := di.uops[i]
-		if u == nil {
-			u = &UOp{}
-			di.uops[i] = u
-		}
 		*u = UOp{}
 		mo := &in.UOps[i]
 		u.Seq = p.seqCtr
@@ -189,7 +197,7 @@ func (p *Processor) activateInst(di *dynInst) {
 		u.inst = di
 		u.IsBranch = in.Kind != isa.BranchNone && i == in.NumUOps-1
 		p.inflight[u.Seq&(inflightRing-1)] = u
-		p.feQ = append(p.feQ, u)
+		p.feQ.PushBack(u)
 		p.stats.FetchedUOps++
 	}
 }

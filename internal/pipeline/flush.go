@@ -10,9 +10,9 @@ func (p *Processor) flushFrom(keepSeq uint64) {
 	// consistent prediction block before squash callbacks arrive.
 	p.closeBlock()
 
-	// Collect squashed instructions, youngest µ-op first in each queue;
-	// instructions are gathered oldest-first for refetch.
-	var squashedInsts []*dynInst
+	// Collect squashed instructions oldest-first for refetch, into the
+	// reusable scratch buffer.
+	squashedInsts := p.squashScratch[:0]
 	markInst := func(u *UOp) {
 		di := u.inst
 		if len(squashedInsts) > 0 && squashedInsts[len(squashedInsts)-1] == di {
@@ -30,32 +30,36 @@ func (p *Processor) flushFrom(keepSeq uint64) {
 		}
 	}
 
-	// ROB tail.
-	cut := len(p.rob)
-	for cut > 0 && p.rob[cut-1].Seq > keepSeq {
+	// ROB tail: find the oldest squashed entry, walk the tail oldest-first
+	// (so squashedInsts ends up in program order), then truncate.
+	cut := p.rob.Len()
+	for cut > 0 && p.rob.At(cut-1).Seq > keepSeq {
 		cut--
 	}
-	for i := cut; i < len(p.rob); i++ {
-		squash(p.rob[i])
-		markInst(p.rob[i])
+	for i := cut; i < p.rob.Len(); i++ {
+		u := p.rob.At(i)
+		squash(u)
+		markInst(u)
 	}
-	p.rob = p.rob[:cut]
+	p.rob.TruncateBack(cut)
 
 	// Decode queue (all in order).
-	feCut := len(p.feQ)
-	for feCut > 0 && p.feQ[feCut-1].Seq > keepSeq {
+	feCut := p.feQ.Len()
+	for feCut > 0 && p.feQ.At(feCut-1).Seq > keepSeq {
 		feCut--
 	}
-	for i := feCut; i < len(p.feQ); i++ {
-		squash(p.feQ[i])
-		markInst(p.feQ[i])
+	for i := feCut; i < p.feQ.Len(); i++ {
+		u := p.feQ.At(i)
+		squash(u)
+		markInst(u)
 	}
-	p.feQ = p.feQ[:feCut]
+	p.feQ.TruncateBack(feCut)
 
 	// IQ, LQ, SQ: filter in place.
-	p.iq = filterSeq(p.iq, keepSeq)
-	p.lq = filterSeq(p.lq, keepSeq)
-	p.sq = filterSeq(p.sq, keepSeq)
+	keep := func(u *UOp) bool { return u.Seq <= keepSeq }
+	p.iq.Filter(keep)
+	p.lq.Filter(keep)
+	p.sq.Filter(keep)
 
 	// squashedInsts currently holds ROB-order then feQ-order instructions;
 	// both are oldest-first, and feQ instructions are younger than ROB
@@ -83,7 +87,8 @@ func (p *Processor) flushFrom(keepSeq uint64) {
 	for i := range p.renameTable {
 		p.renameTable[i] = 0
 	}
-	for _, u := range p.rob {
+	for i := 0; i < p.rob.Len(); i++ {
+		u := p.rob.At(i)
 		if u.Dest >= 0 {
 			p.renameTable[u.Dest] = u.Seq
 		}
@@ -92,9 +97,14 @@ func (p *Processor) flushFrom(keepSeq uint64) {
 
 	// Refetch: push squashed instructions back to the front of the pending
 	// queue, preserving program order.
-	if len(squashedInsts) > 0 {
-		p.pending = append(squashedInsts, p.pending...)
+	for i := len(squashedInsts) - 1; i >= 0; i-- {
+		p.pending.PushFront(squashedInsts[i])
 	}
+	// Return the scratch buffer without retaining dynInst pointers.
+	for i := range squashedInsts {
+		squashedInsts[i] = nil
+	}
+	p.squashScratch = squashedInsts[:0]
 
 	// A redirect for a squashed branch is void; the refetch re-detects it.
 	if p.pendingRedirectSeq > keepSeq {
@@ -108,20 +118,9 @@ func (p *Processor) flushFrom(keepSeq uint64) {
 
 	if p.cfg.VP != nil {
 		newBlockPC := uint64(0)
-		if len(p.pending) > 0 {
-			newBlockPC = p.pending[0].inst.PC &^ 15
+		if p.pending.Len() > 0 {
+			newBlockPC = p.pending.Front().inst.PC &^ 15
 		}
 		p.cfg.VP.OnFlush(keepSeq, newBlockPC)
 	}
-}
-
-func filterSeq(q []*UOp, keepSeq uint64) []*UOp {
-	n := 0
-	for _, u := range q {
-		if u.Seq <= keepSeq {
-			q[n] = u
-			n++
-		}
-	}
-	return q[:n]
 }

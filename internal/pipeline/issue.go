@@ -7,6 +7,12 @@ import "bebop/internal/isa"
 // on issue. Loads check the store queue for forwarding and the store-set
 // predictor for ordering; stores check for memory-order violations against
 // already-executed younger loads.
+//
+// The stage runs in two phases: (1) sweep the IQ in age order, issuing
+// ready µ-ops and compacting the survivors in place; (2) run the deferred
+// memory-order violation checks of the issued stores. The deferral
+// matters: a violation squashes (flushFrom filters the IQ), which must
+// not happen while the sweep is rewriting the ring.
 func (p *Processor) issueStage() {
 	alu := p.cfg.FU.ALU
 	muldiv := p.cfg.FU.MulDiv
@@ -16,12 +22,13 @@ func (p *Processor) issueStage() {
 	st := p.cfg.FU.StPorts
 	issued := 0
 
-	n := 0
-	for i := 0; i < len(p.iq); i++ {
-		u := p.iq[i]
+	p.issuedStores = p.issuedStores[:0]
+	w := 0
+	for i := 0; i < p.iq.Len(); i++ {
+		u := p.iq.At(i)
 		if issued >= p.cfg.IssueWidth {
-			p.iq[n] = u
-			n++
+			p.iq.Set(w, u)
+			w++
 			continue
 		}
 		ok := false
@@ -74,14 +81,21 @@ func (p *Processor) issueStage() {
 			}
 		}
 		if !ok {
-			p.iq[n] = u
-			n++
+			p.iq.Set(w, u)
+			w++
 			continue
 		}
 		issued++
 		p.issue(u)
 	}
-	p.iq = p.iq[:n]
+	p.iq.TruncateBack(w)
+	for _, s := range p.issuedStores {
+		// A violation flush triggered by an older store may have squashed
+		// this one; a squashed store's check is void.
+		if !s.Squashed {
+			p.checkMemOrderViolation(s)
+		}
+	}
 }
 
 func (p *Processor) issue(u *UOp) {
@@ -96,7 +110,7 @@ func (p *Processor) issue(u *UOp) {
 		p.stats.LoadsExecuted++
 	case isa.ClassStore:
 		u.DoneAt = p.now + classLatency(u.Class)
-		p.checkMemOrderViolation(u)
+		p.issuedStores = append(p.issuedStores, u)
 	default:
 		u.DoneAt = p.now + classLatency(u.Class)
 	}
@@ -113,7 +127,8 @@ func (p *Processor) loadMayIssue(u *UOp) bool {
 			return false
 		}
 	}
-	for _, s := range p.sq {
+	for i := 0; i < p.sq.Len(); i++ {
+		s := p.sq.At(i)
 		if s.Seq >= u.Seq {
 			break
 		}
@@ -129,7 +144,8 @@ func (p *Processor) loadMayIssue(u *UOp) bool {
 // address generation + the hierarchy latency).
 func (p *Processor) executeLoad(u *UOp) int64 {
 	var fwd *UOp
-	for _, s := range p.sq {
+	for i := 0; i < p.sq.Len(); i++ {
+		s := p.sq.At(i)
 		if s.Seq >= u.Seq {
 			break
 		}
@@ -155,7 +171,8 @@ func (p *Processor) executeLoad(u *UOp) int64 {
 // to issue out of order).
 func (p *Processor) checkMemOrderViolation(store *UOp) {
 	var victim *UOp
-	for _, l := range p.lq {
+	for i := 0; i < p.lq.Len(); i++ {
+		l := p.lq.At(i)
 		if l.Seq <= store.Seq || !l.Issued {
 			continue
 		}

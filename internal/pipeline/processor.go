@@ -5,10 +5,14 @@ import (
 	"bebop/internal/cache"
 	"bebop/internal/isa"
 	"bebop/internal/memdep"
+	"bebop/internal/ring"
 )
 
 // Processor is the cycle-level superscalar model. Create one with New,
-// drive it with Run, and read the Result.
+// drive it with Run, and read the Result. A finished Processor can be
+// recycled for another job with Reset, which reuses every table and queue
+// allocation; together with the ring-buffer queues and the dynInst/UOp
+// pool this keeps the simulation loop allocation-free in steady state.
 type Processor struct {
 	cfg    Config
 	stream isa.Stream
@@ -25,13 +29,13 @@ type Processor struct {
 
 	// pending holds squashed instructions awaiting refetch, oldest first;
 	// refetch drains it before reading new instructions from the stream.
-	pending    []*dynInst
+	pending    ring.Ring[*dynInst]
 	streamDone bool
 
 	// Front-end state.
 	fetchStallUntil    int64
 	pendingRedirectSeq uint64
-	feQ                []*UOp
+	feQ                ring.Ring[*UOp]
 
 	// Open fetch-block occurrence (may span cycles on width limits).
 	blockOpen     bool
@@ -40,10 +44,10 @@ type Processor struct {
 	blockUOps     []*UOp
 
 	// Out-of-order structures.
-	rob []*UOp
-	iq  []*UOp
-	lq  []*UOp
-	sq  []*UOp
+	rob ring.Ring[*UOp]
+	iq  ring.Ring[*UOp]
+	lq  ring.Ring[*UOp]
+	sq  ring.Ring[*UOp]
 
 	renameTable [isa.NumArchRegs]uint64
 	inflight    []*UOp // ring indexed by Seq & (len-1)
@@ -52,6 +56,11 @@ type Processor struct {
 	divBusyUntil, fpDivBusyUntil int64
 
 	instPool []*dynInst
+
+	// Reusable scratch buffers (issueStage violation checks, flushFrom
+	// squash collection).
+	issuedStores  []*UOp
+	squashScratch []*dynInst
 
 	stats Stats
 	// Measurement window: counters at the warmup boundary are snapshotted
@@ -114,6 +123,82 @@ func New(cfg Config, stream isa.Stream) *Processor {
 	return p
 }
 
+// Reset rearms the processor for a fresh run of cfg over stream, reusing
+// every allocation the previous run left behind: the ring-buffer queues,
+// the dynInst/UOp pool and — when the table geometry is unchanged — the
+// TAGE, BTB, cache and store-set arrays, which are cleared in place
+// instead of reallocated. A Reset processor behaves identically to one
+// built with New(cfg, stream); internal/perf and the engine workers use
+// this to recycle processors across jobs.
+func (p *Processor) Reset(cfg Config, stream isa.Stream) {
+	// Predictor/cache tables: clear in place when the geometry matches,
+	// rebuild otherwise.
+	if cfg.BranchCfg == p.cfg.BranchCfg {
+		p.tage.Reset()
+	} else {
+		p.tage = branch.NewTAGE(cfg.BranchCfg)
+	}
+	if cfg.BTBEntries == p.cfg.BTBEntries && cfg.BTBWays == p.cfg.BTBWays {
+		p.btb.Reset()
+	} else {
+		p.btb = branch.NewBTB(cfg.BTBEntries, cfg.BTBWays)
+	}
+	if cfg.RASEntries == p.cfg.RASEntries {
+		p.ras.Reset()
+	} else {
+		p.ras = branch.NewRAS(cfg.RASEntries)
+	}
+	if cfg.MemCfg == p.cfg.MemCfg {
+		p.mem.Reset()
+	} else {
+		p.mem = cache.NewHierarchy(cfg.MemCfg)
+	}
+	if cfg.StoreSetEntries == p.cfg.StoreSetEntries {
+		p.sset.Reset()
+	} else {
+		p.sset = memdep.New(cfg.StoreSetEntries)
+	}
+
+	p.cfg = cfg
+	p.stream = stream
+	p.now = 0
+	p.seqCtr = 1
+	p.hist = branch.History{}
+	p.streamDone = false
+	p.fetchStallUntil = 0
+	p.pendingRedirectSeq = 0
+	p.blockOpen = false
+	p.blockPC = 0
+	p.blockFirstSeq = 0
+	p.blockUOps = p.blockUOps[:0]
+	p.pending.Clear()
+	p.feQ.Clear()
+	p.rob.Clear()
+	p.iq.Clear()
+	p.lq.Clear()
+	p.sq.Clear()
+	p.renameTable = [isa.NumArchRegs]uint64{}
+	for i := range p.inflight {
+		p.inflight[i] = nil
+	}
+	p.divBusyUntil, p.fpDivBusyUntil = 0, 0
+	p.issuedStores = p.issuedStores[:0]
+	p.squashScratch = p.squashScratch[:0]
+	p.stats = Stats{}
+	p.warmed = false
+	p.warmStats = Stats{}
+	p.warmCycles = 0
+	p.warmL1D, p.warmL2 = 0, 0
+}
+
+// Release drops the finished job's stream and value predictor references
+// so a parked processor does not pin them (a BlockVP carries full D-VTAGE
+// tables) until the next Reset. The processor stays valid for Reset.
+func (p *Processor) Release() {
+	p.stream = nil
+	p.cfg.VP = nil
+}
+
 // Run simulates until the stream is exhausted and the pipeline drains,
 // returning the result. maxCycles bounds runaway simulations (0 = no
 // bound).
@@ -135,7 +220,7 @@ func (p *Processor) RunWarm(warmupInsts, maxCycles int64) Result {
 		if !p.warmed && warmupInsts > 0 && p.stats.Insts >= uint64(warmupInsts) {
 			p.markWarm()
 		}
-		if p.streamDone && len(p.pending) == 0 && len(p.feQ) == 0 && len(p.rob) == 0 {
+		if p.streamDone && p.pending.Len() == 0 && p.feQ.Len() == 0 && p.rob.Len() == 0 {
 			break
 		}
 		if maxCycles > 0 && p.now >= maxCycles {

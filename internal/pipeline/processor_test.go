@@ -240,20 +240,20 @@ func confWrongConfig() Config {
 func TestROBNeverExceedsCapacity(t *testing.T) {
 	cfg := DefaultConfig()
 	p := New(cfg, &indepStream{n: 20000})
-	for i := 0; i < 30000 && !(p.streamDone && len(p.rob) == 0 && len(p.feQ) == 0 && len(p.pending) == 0); i++ {
+	for i := 0; i < 30000 && !(p.streamDone && p.rob.Len() == 0 && p.feQ.Len() == 0 && p.pending.Len() == 0); i++ {
 		p.commitStage()
 		p.issueStage()
 		p.dispatchStage()
 		p.fetchStage()
 		p.now++
-		if len(p.rob) > cfg.ROBSize {
-			t.Fatalf("ROB overflow: %d > %d", len(p.rob), cfg.ROBSize)
+		if p.rob.Len() > cfg.ROBSize {
+			t.Fatalf("ROB overflow: %d > %d", p.rob.Len(), cfg.ROBSize)
 		}
-		if len(p.iq) > cfg.IQSize {
-			t.Fatalf("IQ overflow: %d > %d", len(p.iq), cfg.IQSize)
+		if p.iq.Len() > cfg.IQSize {
+			t.Fatalf("IQ overflow: %d > %d", p.iq.Len(), cfg.IQSize)
 		}
-		if len(p.feQ) > cfg.FetchQueueSize {
-			t.Fatalf("decode queue overflow: %d > %d", len(p.feQ), cfg.FetchQueueSize)
+		if p.feQ.Len() > cfg.FetchQueueSize {
+			t.Fatalf("decode queue overflow: %d > %d", p.feQ.Len(), cfg.FetchQueueSize)
 		}
 	}
 }
@@ -268,13 +268,13 @@ func TestCommitInProgramOrder(t *testing.T) {
 		p.dispatchStage()
 		p.fetchStage()
 		p.now++
-		if len(p.rob) > 0 {
-			if p.rob[0].Seq < lastHead {
-				t.Fatalf("ROB head went backwards: %d after %d", p.rob[0].Seq, lastHead)
+		if p.rob.Len() > 0 {
+			if p.rob.Front().Seq < lastHead {
+				t.Fatalf("ROB head went backwards: %d after %d", p.rob.Front().Seq, lastHead)
 			}
-			lastHead = p.rob[0].Seq
+			lastHead = p.rob.Front().Seq
 		}
-		if p.streamDone && len(p.pending) == 0 && len(p.feQ) == 0 && len(p.rob) == 0 {
+		if p.streamDone && p.pending.Len() == 0 && p.feQ.Len() == 0 && p.rob.Len() == 0 {
 			break
 		}
 	}

@@ -67,15 +67,26 @@ type UOp struct {
 	// operation); block-based operation uses VPRec/VPSlot instead.
 	Outcome predictor.Outcome
 	// VPRec points at the in-flight block prediction record owning this
-	// µ-op's slot; VPSlot is the slot index (-1 = unattributed).
+	// µ-op's slot; VPSlot is the slot index (-1 = unattributed). VPGen is
+	// the record's generation counter at attribution time: the record is
+	// pooled, so a holder must treat a generation mismatch as a dangling
+	// reference (the record was freed and possibly recycled for another
+	// block) and ignore it.
 	VPRec  any
+	VPGen  uint64
 	VPSlot int8
 
 	inst *dynInst
 }
 
 // dynInst groups the µ-ops of one dynamic instruction so squashed
-// instructions can be re-fetched whole.
+// instructions can be re-fetched whole. dynInsts (and the UOps they own)
+// are pooled: allocInst recycles them, freeInst returns them. pooled
+// marks a dynInst whose lifetime has ended, so a double free — the
+// classic pooled-lifetime bug — is caught at the free site instead of
+// corrupting an unrelated instruction later. A UOp's generation counter
+// is its Seq: every (re)activation assigns a fresh one, which is what
+// lookup() checks against the inflight ring.
 type dynInst struct {
 	inst     isa.Inst
 	uops     []*UOp
@@ -86,6 +97,8 @@ type dynInst struct {
 	histBefore branch.History
 	pushedHist bool
 	committed  int // µ-ops committed so far
+
+	pooled bool
 }
 
 // SrcCount returns the number of valid sources.

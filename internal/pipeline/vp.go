@@ -62,10 +62,13 @@ func (s VPStats) Coverage() float64 {
 	return float64(s.Used) / float64(s.Eligible)
 }
 
-// Accuracy returns correct predictions per used prediction.
+// Accuracy returns correct predictions per used prediction. A run with no
+// used predictions has no accuracy to report and returns 0 — returning 1
+// here made reports claim 100% accuracy for configurations that never
+// predicted anything.
 func (s VPStats) Accuracy() float64 {
 	if s.Used == 0 {
-		return 1
+		return 0
 	}
 	return float64(s.UsedCorrect) / float64(s.Used)
 }

@@ -58,12 +58,14 @@ func NewByName(name string, maxInsts int64) (*Generator, bool) {
 // Profile returns the generator's profile.
 func (g *Generator) Profile() Profile { return g.prof }
 
+// drawIters samples a loop trip count uniformly from the inclusive range
+// [IterMin, IterMax].
 func (g *Generator) drawIters() int {
 	span := g.prof.IterMax - g.prof.IterMin
 	if span <= 0 {
 		return g.prof.IterMin
 	}
-	return g.prof.IterMin + g.rng.Intn(span)
+	return g.prof.IterMin + g.rng.Intn(span+1)
 }
 
 // Next implements isa.Stream.

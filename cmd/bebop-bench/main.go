@@ -34,16 +34,21 @@ func main() {
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "config\tbench\tinsts/s\tµops/s\tallocs/kinst\tKB\twall")
+	fmt.Fprintln(tw, "config\tbench\tmode\tinsts/s\tµops/s\tallocs/kinst\tKB\twall")
 	for _, p := range rep.Points {
-		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.0f\t%.2f\t%.0f\t%.3fs\n",
-			p.Config, p.Bench, p.InstsPerSec, p.UOpsPerSec,
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.0f\t%.0f\t%.2f\t%.0f\t%.3fs\n",
+			p.Config, p.Bench, p.Mode, p.InstsPerSec, p.UOpsPerSec,
 			p.AllocsPerKInst, float64(p.Bytes)/1024, p.WallSeconds)
 	}
-	fmt.Fprintf(tw, "TOTAL\t\t%.0f\t%.0f\t%.2f\t%.0f\t%.3fs\n",
+	fmt.Fprintf(tw, "TOTAL\t\tgenerate\t%.0f\t%.0f\t%.2f\t%.0f\t%.3fs\n",
 		rep.Totals.InstsPerSec, rep.Totals.UOpsPerSec,
 		rep.Totals.AllocsPerKInst, float64(rep.Totals.Bytes)/1024,
 		rep.Totals.WallSeconds)
+	if rt := rep.ReplayTotals; rt != nil {
+		fmt.Fprintf(tw, "TOTAL\t\treplay\t%.0f\t%.0f\t%.2f\t%.0f\t%.3fs\n",
+			rt.InstsPerSec, rt.UOpsPerSec,
+			rt.AllocsPerKInst, float64(rt.Bytes)/1024, rt.WallSeconds)
+	}
 	tw.Flush()
 
 	if *out != "" {

@@ -36,6 +36,7 @@ import (
 
 	"bebop/internal/engine"
 	"bebop/internal/experiments"
+	"bebop/internal/trace"
 )
 
 type server struct {
@@ -46,9 +47,14 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	n := flag.Int64("n", 100_000, "dynamic instructions per workload (fixed per process)")
 	par := flag.Int("p", 0, "max parallel simulations (0 = GOMAXPROCS)")
+	traceDir := flag.String("trace-dir", "", "directory of .bbt traces to add as named workloads")
 	flag.Parse()
 
-	s := &server{runner: experiments.NewRunner(experiments.Options{Insts: *n, Parallel: *par})}
+	cat, err := trace.Catalog(*traceDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &server{runner: experiments.NewRunner(experiments.Options{Insts: *n, Parallel: *par, Catalog: cat})}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.healthz)

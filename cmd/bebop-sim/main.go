@@ -1,16 +1,21 @@
 // Command bebop-sim runs a single workload under a single processor
 // configuration and prints the detailed result: cycle counts, IPC, branch
-// and value prediction statistics.
+// and value prediction statistics. The workload is a synthetic Table II
+// benchmark, a named trace from -trace-dir, or a .bbt file given
+// directly with -trace — replaying a recorded benchmark reproduces the
+// synthetic run bit-identically.
 //
 // Usage:
 //
 //	bebop-sim -bench swim -config eole-bebop -predictor Medium -n 200000
+//	bebop-sim -trace swim-100k.bbt -config baseline -n 50000
+//	bebop-sim -trace-dir traces -bench swim-mutated -n 50000
 //
 // Configurations:
 //
 //	baseline      Baseline_6_60 (no VP)
-//	baseline-vp   Baseline_VP_6_60 (-predictor selects the predictor:
-//	              2d-Stride, VTAGE, VTAGE-2d-Stride, D-VTAGE)
+//	baseline-vp   Baseline_VP_6_60 (-predictor selects the predictor,
+//	              see -help for the accepted names)
 //	eole          EOLE_4_60 with a per-instruction D-VTAGE
 //	eole-bebop    EOLE_4_60 with BeBoP (-predictor selects a Table III
 //	              config: Small_4p, Small_6p, Medium, Large)
@@ -22,24 +27,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
-	"bebop/internal/bebop"
 	"bebop/internal/core"
 	"bebop/internal/engine"
 	"bebop/internal/pipeline"
 	"bebop/internal/specwindow"
+	"bebop/internal/trace"
 	"bebop/internal/util"
 	"bebop/internal/workload"
 )
 
 func main() {
-	bench := flag.String("bench", "swim", "Table II benchmark name (see -list)")
-	config := flag.String("config", "baseline", "baseline | baseline-vp | eole | eole-bebop | eole-bebop-custom")
-	pred := flag.String("predictor", "D-VTAGE", "predictor (baseline-vp) or Table III config (eole-bebop)")
+	bench := flag.String("bench", "swim", "workload name: Table II benchmark or -trace-dir trace (see -list)")
+	tracePath := flag.String("trace", "", "replay this .bbt trace file instead of -bench")
+	traceDir := flag.String("trace-dir", "", "directory of .bbt traces to add as named workloads")
+	config := flag.String("config", "baseline",
+		strings.Join(core.ConfigNames(), " | ")+" | eole-bebop-custom")
+	pred := flag.String("predictor", "D-VTAGE",
+		"predictor for baseline-vp ("+strings.Join(core.AllPredictorNames(), ", ")+
+			") or Table III config for eole-bebop (Small_4p, Small_6p, Medium, Large)")
 	n := flag.Int64("n", 200_000, "dynamic instructions to simulate")
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
-	list := flag.Bool("list", false, "list benchmarks and exit")
+	list := flag.Bool("list", false, "list workloads and exit")
 	npred := flag.Int("npred", 6, "custom: predictions per entry")
 	base := flag.Int("base", 2048, "custom: base component entries")
 	tagged := flag.Int("tagged", 256, "custom: tagged component entries")
@@ -47,6 +58,11 @@ func main() {
 	win := flag.Int("win", -1, "custom: speculative window entries (-1 inf, 0 none)")
 	pol := flag.String("policy", "Ideal", "custom: recovery policy (Ideal, Repred, DnRDnR, DnRR)")
 	flag.Parse()
+
+	cat, err := trace.Catalog(*traceDir)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		for _, p := range workload.Profiles() {
@@ -56,44 +72,45 @@ func main() {
 			}
 			fmt.Printf("%-12s %-8s %s paper-IPC=%.3f\n", p.Name, p.Suite, typ, p.PaperIPC)
 		}
+		for _, name := range cat.Names() {
+			src, _ := cat.Lookup(name)
+			if fs, ok := src.(trace.FileSource); ok {
+				fmt.Printf("%-12s trace    %s\n", name, fs.Path)
+			}
+		}
 		return
 	}
 
 	var mk core.ConfigFactory
-	switch *config {
-	case "baseline":
-		mk = core.Baseline()
-	case "baseline-vp":
-		mk = core.BaselineVP(*pred)
-	case "eole":
-		mk = core.EOLEInstVP()
-	case "eole-bebop":
-		var bb bebop.Config
-		switch *pred {
-		case "Small_4p":
-			bb = core.SmallConfig4p()
-		case "Small_6p":
-			bb = core.SmallConfig6p()
-		case "Medium":
-			bb = core.MediumConfig()
-		case "Large":
-			bb = core.LargeConfig()
-		default:
-			fmt.Fprintf(os.Stderr, "unknown Table III config %q\n", *pred)
-			os.Exit(2)
-		}
-		mk = core.EOLEBeBoP(*pred, bb)
-	case "eole-bebop-custom":
+	if *config == "eole-bebop-custom" {
 		policy, ok := specwindow.ParsePolicy(*pol)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown policy %q\n", *pol)
-			os.Exit(2)
+			fatal(fmt.Errorf("unknown policy %q", *pol))
 		}
 		bb := core.BlockConfig(*npred, *base, *tagged, *stride, *win, policy)
 		mk = core.EOLEBeBoP("custom", bb)
+	} else if mk, err = core.NamedFactory(*config, *pred); err != nil {
+		fatal(err)
+	}
+
+	benchSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "bench" {
+			benchSet = true
+		}
+	})
+
+	var src workload.Source
+	switch {
+	case *tracePath != "" && benchSet:
+		fatal(fmt.Errorf("-bench and -trace are mutually exclusive"))
+	case *tracePath != "":
+		src = trace.NewFileSource(*tracePath)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown config %q\n", *config)
-		os.Exit(2)
+		var ok bool
+		if src, ok = cat.Lookup(*bench); !ok {
+			fatal(fmt.Errorf("unknown workload %q (have: %s)", *bench, cat.NameList()))
+		}
 	}
 
 	// A single simulation is not interruptible mid-run, so no timeout or
@@ -102,26 +119,29 @@ func main() {
 	eng := engine.New[pipeline.Result](engine.Options{Workers: 1})
 	jr, err := eng.Run(context.Background(), engine.Job[pipeline.Result]{
 		Key:   *config + "/" + *pred,
-		Bench: *bench,
+		Bench: src.Name(),
 		Run: func(context.Context) (pipeline.Result, error) {
-			return core.RunByName(*bench, *n, mk)
+			return core.RunSource(src, *n, mk)
 		},
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatal(err)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(jr.Value); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fatal(err)
 		}
 		return
 	}
 	printResult(jr.Value)
 	fmt.Printf("sim wall time     %s\n", jr.Elapsed.Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
 }
 
 func printResult(r pipeline.Result) {

@@ -24,12 +24,14 @@ import (
 
 	"bebop/internal/engine"
 	"bebop/internal/experiments"
+	"bebop/internal/trace"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: "+strings.Join(experiments.ExperimentIDs(), ", ")+", or 'all'")
 	n := flag.Int64("n", 100_000, "dynamic instructions per workload")
-	w := flag.String("w", "", "comma-separated workload subset (default: all 36)")
+	w := flag.String("w", "", "comma-separated workload subset (default: the whole catalog)")
+	traceDir := flag.String("trace-dir", "", "directory of .bbt traces to add as named workloads")
 	par := flag.Int("p", 0, "max parallel simulations (0 = GOMAXPROCS)")
 	format := flag.String("format", "text", "output format: "+strings.Join(engine.Formats(), ", "))
 	timeout := flag.Duration("timeout", 0, "stop scheduling new simulations after this duration; in-flight ones finish (0 = none)")
@@ -42,7 +44,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := experiments.Options{Insts: *n, Parallel: *par}
+	cat, err := trace.Catalog(*traceDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opts := experiments.Options{Insts: *n, Parallel: *par, Catalog: cat}
 	if *w != "" {
 		opts.Workloads = strings.Split(*w, ",")
 	}

@@ -1,69 +1,315 @@
-// Command bebop-trace dumps the dynamic instruction trace of a workload:
-// PCs, byte sizes, fetch-block boundaries, µ-ops with their classes,
-// registers, values and memory addresses — useful for inspecting what the
-// predictor actually sees.
+// Command bebop-trace records, replays and inspects binary .bbt
+// instruction traces (internal/trace).
 //
 // Usage:
 //
-//	bebop-trace -bench swim -n 40
-//	bebop-trace -bench mcf -n 1000 -summary
+//	bebop-trace record -bench swim -n 100000 -o swim-100k.bbt
+//	bebop-trace replay -trace swim-100k.bbt -config eole-bebop -predictor Medium
+//	bebop-trace info   -trace swim-100k.bbt
+//	bebop-trace dump   -bench swim -n 40
+//	bebop-trace dump   -trace swim-100k.bbt -summary
+//
+// record serializes a synthetic Table II workload as a trace; replay
+// drives a processor from a trace and prints the same result bebop-sim
+// prints (bit-identical to simulating the generator it was recorded
+// from); info prints the self-describing header and frame geometry;
+// dump is the original listing/summary view, now over either a
+// generator or a trace.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"bebop/internal/core"
 	"bebop/internal/isa"
+	"bebop/internal/trace"
+	"bebop/internal/util"
 	"bebop/internal/workload"
 )
 
 func main() {
-	bench := flag.String("bench", "swim", "Table II benchmark name")
-	n := flag.Int64("n", 50, "instructions to emit")
-	summary := flag.Bool("summary", false, "print per-class totals instead of a listing")
-	flag.Parse()
-
-	g, ok := workload.NewByName(*bench, *n)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+	if len(os.Args) < 2 {
+		usage()
 		os.Exit(2)
 	}
-
-	var in isa.Inst
-	if *summary {
-		classes := map[string]int{}
-		branches := map[isa.BranchKind]int{}
-		insts, uops := 0, 0
-		for g.Next(&in) {
-			insts++
-			branches[in.Kind]++
-			for i := 0; i < in.NumUOps; i++ {
-				classes[in.UOps[i].Class.String()]++
-				uops++
-			}
-		}
-		// Guard the rates: -n 0 emits nothing, and NaN% helps nobody.
-		uopsPerInst := 0.0
-		if insts > 0 {
-			uopsPerInst = float64(uops) / float64(insts)
-		}
-		fmt.Printf("instructions %d, µ-ops %d (%.2f µ-ops/inst)\n", insts, uops, uopsPerInst)
-		for c, cnt := range classes {
-			pct := 0.0
-			if uops > 0 {
-				pct = 100 * float64(cnt) / float64(uops)
-			}
-			fmt.Printf("  %-8s %7d (%5.1f%%)\n", c, cnt, pct)
-		}
-		fmt.Printf("branches: cond %d, direct %d, call %d, return %d\n",
-			branches[isa.BranchCond], branches[isa.BranchDirect],
-			branches[isa.BranchCall], branches[isa.BranchReturn])
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "dump":
+		err = cmdDump(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
 		return
+	default:
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `bebop-trace <subcommand> [flags]
+
+Subcommands:
+  record   record a synthetic workload as a .bbt trace
+  replay   run a processor from a .bbt trace and print the result
+  info     print a trace's header and frame geometry
+  dump     list instructions or per-class totals (generator or trace)
+
+Run 'bebop-trace <subcommand> -h' for flags.
+`)
+}
+
+// openBench builds a generator for a Table II benchmark, with an error
+// that lists the valid names.
+func openBench(bench string, n int64) (*workload.Generator, error) {
+	g, ok := workload.NewByName(bench, n)
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q (have: %s)",
+			bench, strings.Join(workload.Names(), ", "))
+	}
+	return g, nil
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("bebop-trace record", flag.ExitOnError)
+	bench := fs.String("bench", "swim", "Table II benchmark name")
+	n := fs.Int64("n", 100_000, "instructions to record")
+	out := fs.String("o", "", "output path (default <bench>-<n>.bbt)")
+	frame := fs.Int("frame", trace.DefaultFrameInsts, "instructions per frame")
+	uncompressed := fs.Bool("uncompressed", false, "disable flate compression of frame payloads")
+	fs.Parse(args)
+
+	g, err := openBench(*bench, *n)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s-%d%s", *bench, *n, trace.Ext)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	insts, uops, err := trace.Record(f, g, trace.WriterOptions{
+		Name:         *bench,
+		Seed:         g.Profile().Seed,
+		FrameInsts:   *frame,
+		Uncompressed: *uncompressed,
+	})
+	if err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		// Remove the partial file: a truncated .bbt left behind would
+		// abort every later -trace-dir catalog scan of this directory.
+		os.Remove(path)
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s: %d insts, %d µ-ops, %d bytes (%.2f B/inst)\n",
+		path, insts, uops, st.Size(), float64(st.Size())/float64(insts))
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("bebop-trace replay", flag.ExitOnError)
+	path := fs.String("trace", "", ".bbt trace to replay (required)")
+	config := fs.String("config", "baseline", strings.Join(core.ConfigNames(), " | "))
+	pred := fs.String("predictor", "D-VTAGE",
+		"predictor ("+strings.Join(core.AllPredictorNames(), ", ")+") or Table III config")
+	n := fs.Int64("n", 0, "measured instructions (0 = derive from the trace: 2/3 measure, 1/3 warmup)")
+	asJSON := fs.Bool("json", false, "emit the result as JSON")
+	fs.Parse(args)
+
+	if *path == "" {
+		return fmt.Errorf("replay: -trace is required")
+	}
+	mk, err := core.NamedFactory(*config, *pred)
+	if err != nil {
+		return err
+	}
+	insts := *n
+	if insts <= 0 {
+		r, err := trace.OpenFile(*path)
+		if err != nil {
+			return err
+		}
+		total := int64(r.Header().Insts)
+		r.Close()
+		if total == 0 {
+			return fmt.Errorf("replay: %s has no instruction count; pass -n", *path)
+		}
+		// core.RunSource consumes warmup (insts/2) + insts.
+		insts = total * 2 / 3
+	}
+	res, err := core.RunSource(trace.NewFileSource(*path), insts, mk)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Printf("trace             %s\n", *path)
+	fmt.Printf("config            %s\n", res.Config)
+	fmt.Printf("cycles            %d\n", res.Cycles)
+	fmt.Printf("instructions      %d\n", res.Insts)
+	fmt.Printf("IPC               %.3f\n", res.IPC)
+	fmt.Printf("branch MPKI       %.2f\n", res.BrMispPKI)
+	if res.StorageBits > 0 {
+		fmt.Printf("VP storage        %s\n", util.KB(res.StorageBits))
+		fmt.Printf("VP coverage       %.1f%%\n", 100*res.VP.Coverage())
+		fmt.Printf("VP accuracy       %.3f%%\n", 100*res.VP.Accuracy())
+	}
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("bebop-trace info", flag.ExitOnError)
+	path := fs.String("trace", "", ".bbt trace to describe (required)")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("info: -trace is required")
+	}
+	r, err := trace.OpenFile(*path)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	st, err := os.Stat(*path)
+	if err != nil {
+		return err
+	}
+	h := r.Header()
+	compression := "flate"
+	if !h.Compressed {
+		compression = "none"
+	}
+	fmt.Printf("trace        %s\n", *path)
+	fmt.Printf("format       .bbt version %d, compression %s\n", h.Version, compression)
+	fmt.Printf("workload     %s (seed %#x)\n", h.Name, h.Seed)
+	fmt.Printf("insts        %d\n", h.Insts)
+	fmt.Printf("uops         %d (%.2f µ-ops/inst)\n", h.UOps, ratio(h.UOps, h.Insts))
+	fmt.Printf("frames       %d\n", r.Frames())
+	fmt.Printf("bytes        %d (%.2f B/inst)\n", st.Size(), ratio(uint64(st.Size()), h.Insts))
+	return nil
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("bebop-trace dump", flag.ExitOnError)
+	bench := fs.String("bench", "", "Table II benchmark name to generate")
+	path := fs.String("trace", "", ".bbt trace to dump instead of a generator")
+	n := fs.Int64("n", 50, "instructions to emit")
+	summary := fs.Bool("summary", false, "print per-class totals instead of a listing")
+	skip := fs.Int64("skip", 0, "skip this many leading instructions (trace: uses the frame index)")
+	fs.Parse(args)
+
+	var stream isa.Stream
+	switch {
+	case *path != "" && *bench != "":
+		return fmt.Errorf("dump: -bench and -trace are mutually exclusive")
+	case *path != "":
+		r, err := trace.OpenFile(*path)
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		if *skip > 0 {
+			if err := r.SeekInst(*skip); err != nil {
+				return err
+			}
+		}
+		r.SetLimit(*n)
+		stream = r
+	default:
+		if *bench == "" {
+			*bench = "swim"
+		}
+		g, err := openBench(*bench, *skip+*n)
+		if err != nil {
+			return err
+		}
+		var in isa.Inst
+		for i := int64(0); i < *skip; i++ {
+			g.Next(&in)
+		}
+		stream = g
 	}
 
+	if *summary {
+		dumpSummary(stream)
+	} else {
+		dumpListing(stream)
+	}
+	if es, ok := stream.(interface{ Err() error }); ok && es.Err() != nil {
+		return es.Err()
+	}
+	return nil
+}
+
+func dumpSummary(stream isa.Stream) {
+	var in isa.Inst
+	classes := map[string]int{}
+	branches := map[isa.BranchKind]int{}
+	insts, uops := 0, 0
+	for stream.Next(&in) {
+		insts++
+		branches[in.Kind]++
+		for i := 0; i < in.NumUOps; i++ {
+			classes[in.UOps[i].Class.String()]++
+			uops++
+		}
+	}
+	// Guard the rates: -n 0 emits nothing, and NaN% helps nobody.
+	uopsPerInst := 0.0
+	if insts > 0 {
+		uopsPerInst = float64(uops) / float64(insts)
+	}
+	fmt.Printf("instructions %d, µ-ops %d (%.2f µ-ops/inst)\n", insts, uops, uopsPerInst)
+	for c, cnt := range classes {
+		pct := 0.0
+		if uops > 0 {
+			pct = 100 * float64(cnt) / float64(uops)
+		}
+		fmt.Printf("  %-8s %7d (%5.1f%%)\n", c, cnt, pct)
+	}
+	fmt.Printf("branches: cond %d, direct %d, call %d, return %d\n",
+		branches[isa.BranchCond], branches[isa.BranchDirect],
+		branches[isa.BranchCall], branches[isa.BranchReturn])
+}
+
+func dumpListing(stream isa.Stream) {
+	var in isa.Inst
 	var lastBlock uint64 = ^uint64(0)
-	for g.Next(&in) {
+	for stream.Next(&in) {
 		blk := isa.BlockPC(in.PC)
 		if blk != lastBlock {
 			fmt.Printf("---- fetch block %#x ----\n", blk)

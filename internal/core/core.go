@@ -15,6 +15,8 @@ package core
 
 import (
 	"fmt"
+	"io"
+	"strings"
 	"sync"
 
 	"bebop/internal/bebop"
@@ -73,9 +75,64 @@ func RunWarm(prof workload.Profile, warmup, insts int64, mk ConfigFactory) pipel
 func RunByName(bench string, insts int64, mk ConfigFactory) (pipeline.Result, error) {
 	prof, ok := workload.ProfileByName(bench)
 	if !ok {
-		return pipeline.Result{}, fmt.Errorf("core: unknown benchmark %q", bench)
+		return pipeline.Result{}, fmt.Errorf("core: unknown benchmark %q (have: %s)",
+			bench, strings.Join(workload.Names(), ", "))
 	}
 	return Run(prof, insts, mk), nil
+}
+
+// errStream is implemented by streams that can fail mid-run (a corrupt
+// trace); the generator never does.
+type errStream interface{ Err() error }
+
+// sizedStream is implemented by streams with a known total length
+// (trace.Reader); generators produce however many are asked for.
+type sizedStream interface{ TotalInsts() (int64, bool) }
+
+// RunSource is Run over any workload source — a synthetic profile or a
+// recorded trace. The warmup/measure split matches Run (first insts/2
+// instructions warm all structures), so replaying a trace of a profile
+// reproduces Run(profile) bit-identically. A trace too short for the
+// warmup+measure budget is an error: a half-warmed run silently labeled
+// as measured would poison every comparison against it.
+func RunSource(src workload.Source, insts int64, mk ConfigFactory) (pipeline.Result, error) {
+	warmup := insts / 2
+	stream, err := src.Open(warmup + insts)
+	if err != nil {
+		return pipeline.Result{}, err
+	}
+	if ss, ok := stream.(sizedStream); ok {
+		total, known := ss.TotalInsts()
+		if !known || total < warmup+insts {
+			if c, ok := stream.(io.Closer); ok {
+				c.Close()
+			}
+			if !known {
+				// A sized stream that cannot state its length (a trace
+				// streamed without patched header counts) is exactly the
+				// case where a short run would pass silently; refuse it.
+				return pipeline.Result{}, fmt.Errorf(
+					"core: workload %q has an unknown instruction count; replay it from a seekable source",
+					src.Name())
+			}
+			return pipeline.Result{}, fmt.Errorf(
+				"core: workload %q holds %d instructions, need %d (%d warmup + %d measured); shrink -n or record a longer trace",
+				src.Name(), total, warmup+insts, warmup, insts)
+		}
+	}
+	proc := acquireProc(mk(), stream)
+	r := proc.RunWarm(warmup, 0)
+	proc.Release()
+	procPool.Put(proc)
+	if es, ok := stream.(errStream); ok && es.Err() != nil {
+		err = fmt.Errorf("core: workload %q: %w", src.Name(), es.Err())
+	}
+	if c, ok := stream.(io.Closer); ok {
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return r, err
 }
 
 // Baseline returns the Baseline_6_60 factory.
@@ -86,6 +143,14 @@ func Baseline() ConfigFactory {
 // InstPredictorNames lists the per-instruction predictors of Fig. 5(a).
 func InstPredictorNames() []string {
 	return []string{"2d-Stride", "VTAGE", "VTAGE-2d-Stride", "D-VTAGE"}
+}
+
+// AllPredictorNames lists every predictor NewInstPredictor accepts: the
+// Fig. 5(a) contenders plus the classic baselines (LVP, Stride, FCM,
+// D-FCM) kept for ablations. CLI help and error text should use this,
+// not InstPredictorNames, so no accepted name is undiscoverable.
+func AllPredictorNames() []string {
+	return append(InstPredictorNames(), "LVP", "Stride", "FCM", "D-FCM")
 }
 
 // NewInstPredictor builds a fresh per-instruction predictor by name, sized
@@ -110,7 +175,8 @@ func NewInstPredictor(name string) (predictor.Predictor, error) {
 	case "D-FCM":
 		return predictor.NewDFCM(4, 8192, 16384, 0xDFC1), nil
 	}
-	return nil, fmt.Errorf("core: unknown predictor %q", name)
+	return nil, fmt.Errorf("core: unknown predictor %q (have: %s)",
+		name, strings.Join(AllPredictorNames(), ", "))
 }
 
 // BaselineVP returns the Baseline_VP_6_60 factory with the named
@@ -199,6 +265,55 @@ func EOLEBeBoP(name string, bb bebop.Config) ConfigFactory {
 		cfg.Name = "EOLE_4_60/" + name
 		return cfg
 	}
+}
+
+// ConfigNames lists the configuration names NamedFactory accepts, in
+// the order the CLIs document them.
+func ConfigNames() []string {
+	return []string{"baseline", "baseline-vp", "eole", "eole-bebop"}
+}
+
+// TableIIIByName returns the named Table III BeBoP configuration.
+func TableIIIByName(name string) (bebop.Config, error) {
+	for _, c := range TableIIIConfigs() {
+		if c.Name == name {
+			return c.Cfg, nil
+		}
+	}
+	names := make([]string, 0, 4)
+	for _, c := range TableIIIConfigs() {
+		names = append(names, c.Name)
+	}
+	return bebop.Config{}, fmt.Errorf("core: unknown Table III config %q (have: %s)",
+		name, strings.Join(names, ", "))
+}
+
+// NamedFactory resolves a CLI configuration name to its factory:
+// "baseline", "eole", "baseline-vp" (pred selects a predictor, see
+// AllPredictorNames) or "eole-bebop" (pred selects a Table III config).
+// The custom BeBoP exploration path stays in cmd/bebop-sim; everything
+// else shares this resolver so bebop-sim and bebop-trace replay agree
+// on names and error text.
+func NamedFactory(config, pred string) (ConfigFactory, error) {
+	switch config {
+	case "baseline":
+		return Baseline(), nil
+	case "baseline-vp":
+		if _, err := NewInstPredictor(pred); err != nil {
+			return nil, err
+		}
+		return BaselineVP(pred), nil
+	case "eole":
+		return EOLEInstVP(), nil
+	case "eole-bebop":
+		bb, err := TableIIIByName(pred)
+		if err != nil {
+			return nil, err
+		}
+		return EOLEBeBoP(pred, bb), nil
+	}
+	return nil, fmt.Errorf("core: unknown configuration %q (have: %s)",
+		config, strings.Join(ConfigNames(), ", "))
 }
 
 // TableIIIConfigs returns the named final configurations of Table III in

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"bebop/internal/util"
@@ -159,5 +160,76 @@ func TestEOLEBeBoPRuns(t *testing.T) {
 	}
 	if r.StorageBits == 0 {
 		t.Fatal("BeBoP run reports no predictor storage")
+	}
+}
+
+func TestAllPredictorNamesConstructible(t *testing.T) {
+	names := AllPredictorNames()
+	if len(names) != 8 {
+		t.Fatalf("AllPredictorNames has %d entries, want 8: %v", len(names), names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate predictor name %q", n)
+		}
+		seen[n] = true
+		if _, err := NewInstPredictor(n); err != nil {
+			t.Fatalf("listed predictor %q does not construct: %v", n, err)
+		}
+	}
+	for _, n := range InstPredictorNames() {
+		if !seen[n] {
+			t.Fatalf("Fig. 5(a) predictor %q missing from AllPredictorNames", n)
+		}
+	}
+}
+
+func TestUnknownNameErrorsListValidNames(t *testing.T) {
+	if _, err := RunByName("nope", 100, Baseline()); err == nil ||
+		!strings.Contains(err.Error(), "swim") {
+		t.Fatalf("unknown benchmark error does not list the suite: %v", err)
+	}
+	if _, err := NewInstPredictor("nope"); err == nil ||
+		!strings.Contains(err.Error(), "D-FCM") {
+		t.Fatalf("unknown predictor error does not list the predictors: %v", err)
+	}
+	if _, err := NamedFactory("nope", ""); err == nil ||
+		!strings.Contains(err.Error(), "eole-bebop") {
+		t.Fatalf("unknown config error does not list the configs: %v", err)
+	}
+	if _, err := NamedFactory("eole-bebop", "nope"); err == nil ||
+		!strings.Contains(err.Error(), "Small_4p") {
+		t.Fatalf("unknown Table III error does not list the configs: %v", err)
+	}
+}
+
+func TestNamedFactoryCoversConfigNames(t *testing.T) {
+	for _, cfg := range ConfigNames() {
+		mk, err := NamedFactory(cfg, "D-VTAGE")
+		if cfg == "eole-bebop" {
+			// The predictor names a Table III config here.
+			mk, err = NamedFactory(cfg, "Medium")
+		}
+		if err != nil {
+			t.Fatalf("NamedFactory(%q): %v", cfg, err)
+		}
+		if mk == nil || mk().Name == "" {
+			t.Fatalf("NamedFactory(%q) built a nameless config", cfg)
+		}
+	}
+}
+
+// TestRunSourceMatchesRun: the Source path is the same simulation as the
+// profile path.
+func TestRunSourceMatchesRun(t *testing.T) {
+	prof, _ := workload.ProfileByName("gcc")
+	direct := Run(prof, 5000, Baseline())
+	viaSource, err := RunSource(workload.ProfileSource{Prof: prof}, 5000, Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct != viaSource {
+		t.Fatalf("RunSource diverged from Run:\ndirect: %+v\nsource: %+v", direct, viaSource)
 	}
 }

@@ -4,11 +4,16 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"bebop/internal/core"
 	"bebop/internal/engine"
+	"bebop/internal/trace"
+	"bebop/internal/workload"
 )
 
 // fastOpts keeps experiment tests quick: a 4-benchmark subset spanning
@@ -221,5 +226,57 @@ func TestAblationOrdering(t *testing.T) {
 	}
 	if g["D-FCM"] < g["FCM"]-0.01 {
 		t.Errorf("D-FCM (%.3f) below FCM (%.3f)", g["D-FCM"], g["FCM"])
+	}
+}
+
+// TestTraceCatalogWorkloads runs a sweep where one workload is a
+// recorded .bbt trace: trace-backed workloads flow through the engine
+// like synthetic profiles, and replaying a recorded profile reproduces
+// the synthetic result bit-identically.
+func TestTraceCatalogWorkloads(t *testing.T) {
+	prof, _ := workload.ProfileByName("gcc")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gcc-replayed"+trace.Ext)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Results runs warmup (insts/2) + insts instructions per workload.
+	const insts = 4000
+	if _, _, err := trace.Record(f, workload.New(prof, insts/2+insts),
+		trace.WriterOptions{Name: "gcc-replayed", Seed: prof.Seed}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cat, err := trace.Catalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(Options{
+		Insts:     insts,
+		Catalog:   cat,
+		Workloads: []string{"gcc", "gcc-replayed"},
+	})
+	res := r.Results("Baseline_6_60", core.Baseline())
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2: %v", len(res), res)
+	}
+	if res["gcc"] != res["gcc-replayed"] {
+		t.Fatalf("trace workload diverged from its generator:\ngen:   %+v\ntrace: %+v",
+			res["gcc"], res["gcc-replayed"])
+	}
+
+	// Unknown names must list the catalog.
+	bad := r.WithWorkloads([]string{"missing"})
+	bad.Results("Baseline_6_60", core.Baseline())
+	if err := bad.Err(); err == nil || !errors.Is(err, ErrUnknownBenchmark) ||
+		!strings.Contains(err.Error(), "gcc-replayed") {
+		t.Fatalf("unknown workload error does not list the catalog: %v", err)
 	}
 }

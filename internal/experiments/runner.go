@@ -31,8 +31,12 @@ var (
 type Options struct {
 	// Insts is the dynamic instruction budget per workload.
 	Insts int64
-	// Workloads selects benchmark names; nil runs the full Table II suite.
+	// Workloads selects benchmark names; nil runs the whole Catalog.
 	Workloads []string
+	// Catalog names the available workload sources — synthetic profiles,
+	// recorded traces, or any mix. Nil selects the 36 Table II profiles
+	// (workload.DefaultCatalog).
+	Catalog *workload.Catalog
 	// Parallel bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallel int
 	// OnProgress, when set, streams per-simulation engine events.
@@ -62,6 +66,9 @@ type Runner struct {
 func NewRunner(opts Options) *Runner {
 	if opts.Insts <= 0 {
 		opts.Insts = DefaultOptions().Insts
+	}
+	if opts.Catalog == nil {
+		opts.Catalog = workload.DefaultCatalog()
 	}
 	return &Runner{
 		opts: opts,
@@ -96,12 +103,13 @@ func (r *Runner) Engine() *engine.Engine[pipeline.Result] { return r.eng }
 // context cancellation), or nil.
 func (r *Runner) Err() error { return r.err }
 
-// Workloads returns the selected benchmark names in Table II order.
+// Workloads returns the selected benchmark names in catalog order
+// (Table II order for the default catalog, traces after).
 func (r *Runner) Workloads() []string {
 	if r.opts.Workloads != nil {
 		return r.opts.Workloads
 	}
-	return workload.Names()
+	return r.opts.Catalog.Names()
 }
 
 // Results runs (or returns cached) simulations of every selected workload
@@ -117,11 +125,12 @@ func (r *Runner) Results(key string, mk core.ConfigFactory) map[string]pipeline.
 			Key:   key,
 			Bench: bench,
 			Run: func(ctx context.Context) (pipeline.Result, error) {
-				prof, ok := workload.ProfileByName(bench)
+				src, ok := r.opts.Catalog.Lookup(bench)
 				if !ok {
-					return pipeline.Result{}, fmt.Errorf("experiments: %w %q", ErrUnknownBenchmark, bench)
+					return pipeline.Result{}, fmt.Errorf("experiments: %w %q (have: %s)",
+						ErrUnknownBenchmark, bench, r.opts.Catalog.NameList())
 				}
-				return core.Run(prof, r.opts.Insts, mk), nil
+				return core.RunSource(src, r.opts.Insts, mk)
 			},
 		}
 	}

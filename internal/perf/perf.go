@@ -19,16 +19,24 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"bebop/internal/core"
+	"bebop/internal/pipeline"
+	"bebop/internal/trace"
 	"bebop/internal/workload"
 )
 
 // Schema identifies the BENCH_pipeline.json layout; bump on breaking
 // changes so trajectory tooling can tell files apart.
-const Schema = 1
+//
+// Schema 2 added Point.Mode and the replay scenario: each pinned
+// workload is also recorded as a .bbt trace and replayed through the
+// baseline pipeline, so the trajectory shows what the trace format
+// costs (or saves) relative to generating instructions live.
+const Schema = 2
 
 // PinnedWorkloads is the fixed benchmark subset every trajectory point
 // runs: predictable (swim), mixed (gcc, bzip2), memory-bound (mcf),
@@ -58,9 +66,12 @@ func Configs() []struct {
 type Point struct {
 	Config string `json:"config"`
 	Bench  string `json:"bench"`
+	// Mode is "generate" (live synthetic generator) or "replay" (the
+	// same workload streamed from a recorded .bbt trace).
+	Mode string `json:"mode"`
 
-	Insts uint64 `json:"insts"` // measured (post-warmup) instructions
-	UOps  uint64 `json:"uops"`
+	Insts uint64  `json:"insts"` // measured (post-warmup) instructions
+	UOps  uint64  `json:"uops"`
 	IPC   float64 `json:"ipc"`
 
 	WallSeconds float64 `json:"wall_seconds"`
@@ -87,7 +98,9 @@ type Totals struct {
 }
 
 // Report is one trajectory point: everything written to
-// BENCH_pipeline.json.
+// BENCH_pipeline.json. Totals aggregates the generate points only (so
+// the headline trajectory stays comparable across schema versions);
+// ReplayTotals aggregates the replay points.
 type Report struct {
 	Schema           int     `json:"schema"`
 	Note             string  `json:"note,omitempty"`
@@ -97,6 +110,7 @@ type Report struct {
 	InstsPerWorkload int64   `json:"insts_per_workload"`
 	Points           []Point `json:"points"`
 	Totals           Totals  `json:"totals"`
+	ReplayTotals     *Totals `json:"replay_totals,omitempty"`
 }
 
 // Options configures Measure.
@@ -134,52 +148,114 @@ func Measure(opts Options) (Report, error) {
 			if !ok {
 				return Report{}, fmt.Errorf("perf: unknown benchmark %q", bench)
 			}
-			// Unmeasured warmup run: fills the processor pool so the
-			// measured run sees the steady state an engine worker sees.
-			core.Run(prof, insts, cfg.Mk)
-
-			var m0, m1 runtime.MemStats
-			runtime.GC()
-			runtime.ReadMemStats(&m0)
-			start := time.Now()
-			res := core.Run(prof, insts, cfg.Mk)
-			wall := time.Since(start).Seconds()
-			runtime.ReadMemStats(&m1)
-
-			p := Point{
-				Config:      cfg.Name,
-				Bench:       bench,
-				Insts:       res.Insts,
-				UOps:        res.UOps,
-				IPC:         res.IPC,
-				WallSeconds: wall,
-				Allocs:      m1.Mallocs - m0.Mallocs,
-				Bytes:       m1.TotalAlloc - m0.TotalAlloc,
-			}
-			if wall > 0 {
-				p.InstsPerSec = float64(res.Insts) / wall
-				p.UOpsPerSec = float64(res.UOps) / wall
-			}
-			if res.Insts > 0 {
-				p.AllocsPerKInst = 1000 * float64(p.Allocs) / float64(res.Insts)
-			}
+			p := measureCell(cfg.Name, bench, "generate", func() pipeline.Result {
+				return core.Run(prof, insts, cfg.Mk)
+			})
 			rep.Points = append(rep.Points, p)
-
-			rep.Totals.WallSeconds += wall
-			rep.Totals.Insts += res.Insts
-			rep.Totals.UOps += res.UOps
-			rep.Totals.Allocs += p.Allocs
-			rep.Totals.Bytes += p.Bytes
+			addPoint(&rep.Totals, p)
 		}
 	}
-	if rep.Totals.WallSeconds > 0 {
-		rep.Totals.InstsPerSec = float64(rep.Totals.Insts) / rep.Totals.WallSeconds
-		rep.Totals.UOpsPerSec = float64(rep.Totals.UOps) / rep.Totals.WallSeconds
+
+	// Replay scenario: the same workloads streamed from recorded .bbt
+	// traces through the baseline pipeline, so generate-vs-replay
+	// insts/sec shows what the trace format costs. Recording is
+	// unmeasured setup; only the replay run lands in the report.
+	traceDir, err := os.MkdirTemp("", "bebop-perf-traces")
+	if err != nil {
+		return Report{}, err
 	}
-	if rep.Totals.Insts > 0 {
-		rep.Totals.AllocsPerKInst = 1000 * float64(rep.Totals.Allocs) / float64(rep.Totals.Insts)
+	defer os.RemoveAll(traceDir)
+	replayCfg := Configs()[0]
+	var replayTotals Totals
+	for _, bench := range benches {
+		prof, _ := workload.ProfileByName(bench)
+		path := filepath.Join(traceDir, bench+trace.Ext)
+		f, err := os.Create(path)
+		if err != nil {
+			return Report{}, err
+		}
+		// core.Run consumes warmup (insts/2) + insts instructions.
+		_, _, rerr := trace.Record(f, workload.New(prof, insts/2+insts),
+			trace.WriterOptions{Name: bench, Seed: prof.Seed})
+		if cerr := f.Close(); rerr == nil {
+			rerr = cerr
+		}
+		if rerr != nil {
+			return Report{}, fmt.Errorf("perf: record %s: %w", bench, rerr)
+		}
+		src := trace.NewFileSource(path)
+		var runErr error
+		p := measureCell(replayCfg.Name, bench, "replay", func() pipeline.Result {
+			res, err := core.RunSource(src, insts, replayCfg.Mk)
+			if err != nil && runErr == nil {
+				runErr = err
+			}
+			return res
+		})
+		if runErr != nil {
+			return Report{}, fmt.Errorf("perf: replay %s: %w", bench, runErr)
+		}
+		rep.Points = append(rep.Points, p)
+		addPoint(&replayTotals, p)
 	}
+	finishTotals(&rep.Totals)
+	finishTotals(&replayTotals)
+	rep.ReplayTotals = &replayTotals
 	return rep, nil
+}
+
+// measureCell runs one cell twice — an unmeasured warmup that fills the
+// processor pool (and, for replay, the OS page cache) the way a
+// long-lived engine worker would, then the measured run bracketed by
+// runtime.MemStats reads.
+func measureCell(config, bench, mode string, run func() pipeline.Result) Point {
+	run()
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	res := run()
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+
+	p := Point{
+		Config:      config,
+		Bench:       bench,
+		Mode:        mode,
+		Insts:       res.Insts,
+		UOps:        res.UOps,
+		IPC:         res.IPC,
+		WallSeconds: wall,
+		Allocs:      m1.Mallocs - m0.Mallocs,
+		Bytes:       m1.TotalAlloc - m0.TotalAlloc,
+	}
+	if wall > 0 {
+		p.InstsPerSec = float64(res.Insts) / wall
+		p.UOpsPerSec = float64(res.UOps) / wall
+	}
+	if res.Insts > 0 {
+		p.AllocsPerKInst = 1000 * float64(p.Allocs) / float64(res.Insts)
+	}
+	return p
+}
+
+func addPoint(t *Totals, p Point) {
+	t.WallSeconds += p.WallSeconds
+	t.Insts += p.Insts
+	t.UOps += p.UOps
+	t.Allocs += p.Allocs
+	t.Bytes += p.Bytes
+}
+
+func finishTotals(t *Totals) {
+	if t.WallSeconds > 0 {
+		t.InstsPerSec = float64(t.Insts) / t.WallSeconds
+		t.UOpsPerSec = float64(t.UOps) / t.WallSeconds
+	}
+	if t.Insts > 0 {
+		t.AllocsPerKInst = 1000 * float64(t.Allocs) / float64(t.Insts)
+	}
 }
 
 // WriteFile serializes the report as indented JSON at path.

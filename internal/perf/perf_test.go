@@ -10,9 +10,11 @@ func TestMeasureSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Points) != len(Configs()) {
-		t.Fatalf("got %d points, want one per config (%d)", len(rep.Points), len(Configs()))
+	// One generate point per config plus one replay point per workload.
+	if want := len(Configs()) + 1; len(rep.Points) != want {
+		t.Fatalf("got %d points, want %d (per-config generate + replay)", len(rep.Points), want)
 	}
+	replays := 0
 	for _, p := range rep.Points {
 		if p.Insts == 0 || p.UOps == 0 {
 			t.Fatalf("%s/%s: no instructions measured: %+v", p.Config, p.Bench, p)
@@ -20,9 +22,51 @@ func TestMeasureSmoke(t *testing.T) {
 		if p.WallSeconds <= 0 || p.InstsPerSec <= 0 {
 			t.Fatalf("%s/%s: degenerate timing: %+v", p.Config, p.Bench, p)
 		}
+		switch p.Mode {
+		case "replay":
+			replays++
+		case "generate":
+		default:
+			t.Fatalf("%s/%s: unknown mode %q", p.Config, p.Bench, p.Mode)
+		}
+	}
+	if replays != 1 {
+		t.Fatalf("got %d replay points, want 1", replays)
 	}
 	if rep.Totals.Insts == 0 || rep.Totals.WallSeconds <= 0 {
 		t.Fatalf("degenerate totals: %+v", rep.Totals)
+	}
+	if rep.ReplayTotals == nil || rep.ReplayTotals.Insts == 0 {
+		t.Fatalf("degenerate replay totals: %+v", rep.ReplayTotals)
+	}
+}
+
+// TestReplayMatchesGenerate: the replay cell is the same simulation as
+// the generate cell, so the architectural numbers (not the timing) must
+// agree exactly.
+func TestReplayMatchesGenerate(t *testing.T) {
+	rep, err := Measure(Options{Insts: 2000, Workloads: []string{"bzip2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gen, rpl *Point
+	for i := range rep.Points {
+		p := &rep.Points[i]
+		if p.Config != Configs()[0].Name {
+			continue
+		}
+		switch p.Mode {
+		case "generate":
+			gen = p
+		case "replay":
+			rpl = p
+		}
+	}
+	if gen == nil || rpl == nil {
+		t.Fatalf("missing generate/replay pair in %+v", rep.Points)
+	}
+	if gen.Insts != rpl.Insts || gen.UOps != rpl.UOps || gen.IPC != rpl.IPC {
+		t.Fatalf("replay diverged from generate:\ngenerate: %+v\nreplay:   %+v", gen, rpl)
 	}
 }
 
@@ -58,7 +102,7 @@ func TestPinnedSetIsValid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := len(Configs()) * len(PinnedWorkloads())
+	want := (len(Configs()) + 1) * len(PinnedWorkloads())
 	if len(rep.Points) != want {
 		t.Fatalf("pinned matrix produced %d points, want %d", len(rep.Points), want)
 	}

@@ -1,0 +1,399 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"testing"
+
+	"bebop/internal/isa"
+	"bebop/internal/workload"
+)
+
+// mkTrace records a small gcc slice for corruption to chew on.
+func mkTrace(t testing.TB, insts int64, opts WriterOptions) []byte {
+	t.Helper()
+	prof, _ := workload.ProfileByName("gcc")
+	var buf bytes.Buffer
+	opts.Name = "gcc"
+	opts.Seed = prof.Seed
+	if _, _, err := Record(&buf, workload.New(prof, insts), opts); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// noSeek forces the streaming (index-free) reader path.
+type noSeek struct{ r io.Reader }
+
+func (n noSeek) Read(p []byte) (int, error) { return n.r.Read(p) }
+
+// drain consumes every instruction the reader will yield and returns
+// the sticky error.
+func drain(r *Reader) error {
+	var in isa.Inst
+	for r.Next(&in) {
+	}
+	return r.Err()
+}
+
+// openBoth runs NewReader over both the seekable and streaming paths
+// and requires each to surface an ErrFormat, at open or during replay.
+func openBoth(t *testing.T, data []byte, what string) {
+	t.Helper()
+	for _, seekable := range []bool{true, false} {
+		var src io.Reader = bytes.NewReader(data)
+		if !seekable {
+			src = noSeek{src}
+		}
+		r, err := NewReader(src)
+		if err == nil {
+			err = drain(r)
+		}
+		if err == nil {
+			t.Fatalf("%s (seekable=%v): corrupt input accepted", what, seekable)
+		}
+		if !errors.Is(err, ErrFormat) {
+			t.Fatalf("%s (seekable=%v): error %v is not ErrFormat", what, seekable, err)
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := mkTrace(t, 500, WriterOptions{})
+	data[0] ^= 0xFF
+	openBoth(t, data, "bad magic")
+}
+
+func TestWrongVersion(t *testing.T) {
+	data := mkTrace(t, 500, WriterOptions{})
+	binary.LittleEndian.PutUint16(data[4:6], Version+7)
+	openBoth(t, data, "wrong version")
+}
+
+// TestTruncated cuts the trace at every structurally interesting point:
+// inside the fixed header, inside the name, inside a frame payload, and
+// just before the trailer. Every cut must surface an error, never a
+// panic and never a silent short replay.
+func TestTruncated(t *testing.T) {
+	data := mkTrace(t, 2000, WriterOptions{FrameInsts: 256})
+	// Cuts inside the header or the frame list fail on both paths.
+	for _, cut := range []int{0, 3, headerFixedLen - 1, headerFixedLen + 1,
+		headerFixedLen + 40, len(data) / 2} {
+		openBoth(t, data[:cut], "truncated")
+	}
+	// Cuts inside the index or trailer leave every frame intact, so the
+	// sequential path legitimately replays to the sentinel; the seekable
+	// path must still refuse at open.
+	for _, cut := range []int{len(data) - trailerLen, len(data) - 1} {
+		if _, err := NewReader(bytes.NewReader(data[:cut])); !errors.Is(err, ErrFormat) {
+			t.Fatalf("trailer cut at %d accepted: %v", cut, err)
+		}
+	}
+}
+
+// TestHeaderCountMismatch: patched header counts must agree with the
+// index totals.
+func TestHeaderCountMismatch(t *testing.T) {
+	data := mkTrace(t, 500, WriterOptions{})
+	// The counts live at a fixed offset; the streaming path cannot
+	// cross-check them, so only the seekable path verifies.
+	binary.LittleEndian.PutUint64(data[headerCountsOff:], 99999)
+	if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrFormat) {
+		t.Fatalf("count mismatch accepted: %v", err)
+	}
+}
+
+// corruptFile assembles header + raw frames by hand so tests can inject
+// structurally valid but semantically corrupt frames.
+type corruptFile struct {
+	buf bytes.Buffer
+}
+
+func newCorruptFile(t *testing.T) *corruptFile {
+	t.Helper()
+	c := &corruptFile{}
+	w, err := NewWriter(&c.buf, WriterOptions{Name: "corrupt", Uncompressed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NewWriter has emitted exactly the header; drop the Writer and
+	// append frames manually.
+	_ = w
+	return c
+}
+
+// addFrame appends an uncompressed frame with the declared counts and
+// payload.
+func (c *corruptFile) addFrame(instCount, uopCount uint64, payload []byte) {
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, instCount)
+	hdr = binary.AppendUvarint(hdr, uopCount)
+	hdr = binary.AppendUvarint(hdr, uint64(len(payload)))
+	hdr = binary.AppendUvarint(hdr, uint64(len(payload)))
+	c.buf.Write(hdr)
+	c.buf.Write(payload)
+}
+
+func (c *corruptFile) bytes() []byte { return c.buf.Bytes() }
+
+// TestUOpCountExceedsMax covers both declarations of a µ-op count: the
+// frame header's aggregate and the per-instruction ctrl field. A frame
+// declaring more µ-ops than instCount×MaxUOpsPerInst, or an instruction
+// whose ctrl bits decode past isa.MaxUOpsPerInst, must error.
+func TestUOpCountExceedsMax(t *testing.T) {
+	// Frame-header aggregate: 1 instruction, 100 µ-ops.
+	c := newCorruptFile(t)
+	c.addFrame(1, 100, []byte{0})
+	r, err := NewReader(noSeek{bytes.NewReader(c.bytes())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := drain(r); !errors.Is(err, ErrFormat) {
+		t.Fatalf("frame µ-op overflow accepted: %v", err)
+	}
+
+	// Per-instruction ctrl field: numUOps bits say 5 > MaxUOpsPerInst(4).
+	var payload []byte
+	payload = binary.AppendVarint(payload, 0x400) // pc delta
+	payload = binary.AppendUvarint(payload, 4)    // size
+	payload = append(payload, 5<<4)               // ctrl: kind none, 5 µ-ops
+	c = newCorruptFile(t)
+	c.addFrame(1, 4, payload)
+	r, err = NewReader(noSeek{bytes.NewReader(c.bytes())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = drain(r)
+	if !errors.Is(err, ErrFormat) {
+		t.Fatalf("per-inst µ-op overflow accepted: %v", err)
+	}
+	if want := "exceeds isa.MaxUOpsPerInst"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Fatalf("error %q does not name the µ-op bound", err)
+	}
+}
+
+// TestFrameTrailingGarbage: payload bytes beyond the declared
+// instructions are corruption, not padding.
+func TestFrameTrailingGarbage(t *testing.T) {
+	var payload []byte
+	payload = binary.AppendVarint(payload, 0x400)
+	payload = binary.AppendUvarint(payload, 4)
+	payload = append(payload, 0)                // ctrl: 0 µ-ops
+	payload = append(payload, 0xAA, 0xBB, 0xCC) // garbage
+	c := newCorruptFile(t)
+	c.addFrame(1, 0, payload)
+	r, err := NewReader(noSeek{bytes.NewReader(c.bytes())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := drain(r); !errors.Is(err, ErrFormat) {
+		t.Fatalf("trailing frame garbage accepted: %v", err)
+	}
+}
+
+// TestWriterRejectsInvalidInst: the writer refuses instructions the
+// reader would refuse, so corrupt traces cannot be produced by API use.
+func TestWriterRejectsInvalidInst(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteInst(&isa.Inst{PC: 4, Size: 4, NumUOps: isa.MaxUOpsPerInst + 1}); err == nil {
+		t.Fatal("µ-op overflow accepted by the writer")
+	}
+	if err := w.WriteInst(&isa.Inst{PC: 4, Size: isa.MaxInstBytes + 1, NumUOps: 1}); err == nil {
+		t.Fatal("oversized instruction accepted by the writer")
+	}
+}
+
+// FuzzReader throws arbitrary bytes at both reader paths: nothing may
+// panic, and for the seed corpus of valid traces the replay must
+// complete cleanly. Run with `go test -fuzz=FuzzReader ./internal/trace`.
+func FuzzReader(f *testing.F) {
+	valid := mkTrace(f, 300, WriterOptions{FrameInsts: 64})
+	validUnc := mkTrace(f, 300, WriterOptions{FrameInsts: 64, Uncompressed: true})
+	f.Add(valid)
+	f.Add(validUnc)
+	truncated := valid[:len(valid)/2]
+	f.Add(truncated)
+	magic := append([]byte{}, valid...)
+	magic[0] ^= 0xFF
+	f.Add(magic)
+	flipped := append([]byte{}, validUnc...)
+	flipped[headerFixedLen+20] ^= 0x55
+	f.Add(flipped)
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, seekable := range []bool{true, false} {
+			var src io.Reader = bytes.NewReader(data)
+			if !seekable {
+				src = noSeek{src}
+			}
+			r, err := NewReader(src)
+			if err != nil {
+				continue
+			}
+			r.SetLimit(10_000) // bound fuzz work, not correctness
+			var in isa.Inst
+			for r.Next(&in) {
+				if in.NumUOps > isa.MaxUOpsPerInst {
+					t.Fatalf("reader produced %d µ-ops", in.NumUOps)
+				}
+			}
+		}
+	})
+}
+
+// TestZeroFrameIndexWithTotals: an index declaring no frames but
+// nonzero totals must be rejected at open — it previously let SeekInst
+// index into an empty frame list.
+func TestZeroFrameIndexWithTotals(t *testing.T) {
+	// A legitimately empty trace: sentinel, numFrames=0, totals 0/0.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WriterOptions{Name: "empty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// The empty trace itself opens cleanly and seeks to a clean EOF.
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SeekInst(2); err != nil {
+		t.Fatal(err)
+	}
+	var in isa.Inst
+	if r.Next(&in) || r.Err() != nil {
+		t.Fatalf("empty trace after seek: err %v", r.Err())
+	}
+
+	// Patch the index's totalInsts uvarint (index = numFrames,
+	// totalInsts, totalUOps — one byte each here) to lie about length.
+	indexOff := binary.LittleEndian.Uint64(data[len(data)-trailerLen:])
+	data[indexOff+1] = 5
+	if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrFormat) {
+		t.Fatalf("frameless index with totals accepted: %v", err)
+	}
+}
+
+// TestWriterCapsFrameBytes: with a huge -frame and maximally verbose
+// instructions, the writer must close frames early rather than emit a
+// frame its own Reader rejects against maxFrameBytes.
+func TestWriterCapsFrameBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moves ~150MB of worst-case payload")
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WriterOptions{
+		Name: "fat", Uncompressed: true, FrameInsts: maxFrameInsts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst-case encodings: random PCs (long pc deltas) and four load
+	// µ-ops per instruction with incompressible value/address/prev
+	// deltas (~148 B/inst), so ~74 MB of raw payload in one declared
+	// frame — past the 64 MB reader bound without the early flush.
+	const insts = 500_000
+	var in isa.Inst
+	in.Size = 8
+	in.NumUOps = isa.MaxUOpsPerInst
+	x := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		x = x*6364136223846793005 + 1442695040888963407
+		return x
+	}
+	for i := 0; i < insts; i++ {
+		in.PC = next()
+		for j := 0; j < in.NumUOps; j++ {
+			u := &in.UOps[j]
+			u.Class = isa.ClassLoad
+			u.Dest = isa.Reg(j)
+			u.Src = [2]isa.Reg{isa.RegNone, isa.RegNone}
+			u.Addr = next()
+			u.Value = next()
+			u.HasPrev = true
+			u.PrevValue = next()
+		}
+		if err := w.WriteInst(&in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("writer produced a trace its reader rejects: %v", err)
+	}
+	if r.Frames() < 2 {
+		t.Fatalf("oversized frame was not split (got %d frames)", r.Frames())
+	}
+	var got isa.Inst
+	count := 0
+	for r.Next(&got) {
+		count++
+	}
+	if r.Err() != nil || count != insts {
+		t.Fatalf("replay of split frames: %d/%d insts, err %v", count, insts, r.Err())
+	}
+}
+
+// TestRecordPropagatesSourceError: re-recording from a fallible stream
+// that dies mid-way must fail, not emit a silently truncated trace.
+func TestRecordPropagatesSourceError(t *testing.T) {
+	data := mkTrace(t, 2000, WriterOptions{FrameInsts: 256})
+	src, err := NewReader(noSeek{bytes.NewReader(data[:len(data)/2])})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, _, err := Record(&buf, src, WriterOptions{Name: "rerecord"}); err == nil {
+		t.Fatal("truncated source accepted by Record")
+	}
+}
+
+// TestResetClosesOwnedFile: rearming an OpenFile reader over a new
+// source must release the old handle, and Close must not then close a
+// stale one.
+func TestResetClosesOwnedFile(t *testing.T) {
+	data := mkTrace(t, 300, WriterOptions{})
+	dir := t.TempDir()
+	path := dir + "/a.bbt"
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := r.file.(*os.File)
+	if err := r.Reset(bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	if r.file != nil {
+		t.Fatal("Reset kept ownership of the old file handle")
+	}
+	// The old descriptor must be closed: a second Close errors.
+	if err := old.Close(); err == nil {
+		t.Fatal("Reset leaked the OpenFile handle")
+	}
+	if err := drain(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"testing"
+
+	"bebop/internal/isa"
+)
+
+func TestDefaultCatalog(t *testing.T) {
+	cat := DefaultCatalog()
+	if cat.Len() != len(Profiles()) {
+		t.Fatalf("default catalog has %d sources, want %d", cat.Len(), len(Profiles()))
+	}
+	names := cat.Names()
+	for i, want := range Names() {
+		if names[i] != want {
+			t.Fatalf("catalog order diverged at %d: %q != %q", i, names[i], want)
+		}
+	}
+	src, ok := cat.Lookup("swim")
+	if !ok {
+		t.Fatal("swim missing from the default catalog")
+	}
+	stream, err := src.Open(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in isa.Inst
+	count := 0
+	for stream.Next(&in) {
+		count++
+	}
+	if count != 100 {
+		t.Fatalf("profile source produced %d insts, want 100", count)
+	}
+}
+
+func TestCatalogRejectsDuplicates(t *testing.T) {
+	cat := NewCatalog()
+	prof, _ := ProfileByName("gcc")
+	if err := cat.Add(ProfileSource{Prof: prof}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add(ProfileSource{Prof: prof}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if cat.Len() != 1 {
+		t.Fatalf("failed Add mutated the catalog: %d sources", cat.Len())
+	}
+}
+
+// TestProfileSourceMatchesGenerator: Source.Open is just another way to
+// construct the generator.
+func TestProfileSourceMatchesGenerator(t *testing.T) {
+	prof, _ := ProfileByName("bzip2")
+	stream, err := ProfileSource{Prof: prof}.Open(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := New(prof, 500)
+	var a, b isa.Inst
+	for i := 0; ; i++ {
+		ga, gb := gen.Next(&a), stream.Next(&b)
+		if ga != gb {
+			t.Fatalf("stream lengths diverged at %d", i)
+		}
+		if !ga {
+			return
+		}
+		if a != b {
+			t.Fatalf("inst %d diverged", i)
+		}
+	}
+}

@@ -19,16 +19,46 @@ import (
 	"text/tabwriter"
 
 	"bebop/internal/perf"
+	"bebop/internal/prof"
 )
 
 func main() {
 	insts := flag.Int64("insts", 50_000, "dynamic instructions per workload (half is warmup)")
 	out := flag.String("out", "BENCH_pipeline.json", "output JSON path ('' = don't write)")
 	note := flag.String("note", "", "free-form note carried into the report")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured matrix to this file")
+	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
+	gate := flag.String("gate", "", "reference BENCH_pipeline.json to gate against ('' = no gate)")
+	gateRegress := flag.Float64("gate-max-regress", 0.25,
+		"with -gate: fail if geomean insts/sec regresses by more than this fraction")
 	flag.Parse()
 
-	rep, err := perf.Measure(perf.Options{Insts: *insts, Note: *note})
+	// Read the gate reference BEFORE measuring (fail fast on a missing
+	// file) and before (possibly) overwriting it: the documented
+	// refresh-and-gate invocation points -gate and -out at the same
+	// committed BENCH_pipeline.json, and the gate must compare against
+	// the numbers that file held going in, not the fresh run.
+	var gateRef perf.Report
+	if *gate != "" {
+		var err error
+		if gateRef, err = perf.ReadFile(*gate); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	stopCPU, err := prof.StartCPU(*cpuprofile)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep, err := perf.Measure(perf.Options{Insts: *insts, Note: *note})
+	stopCPU()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := prof.WriteHeap(*memprofile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -40,12 +70,14 @@ func main() {
 			p.Config, p.Bench, p.Mode, p.InstsPerSec, p.UOpsPerSec,
 			p.AllocsPerKInst, float64(p.Bytes)/1024, p.WallSeconds)
 	}
-	fmt.Fprintf(tw, "TOTAL\t\tgenerate\t%.0f\t%.0f\t%.2f\t%.0f\t%.3fs\n",
+	fmt.Fprintf(tw, "TOTAL\tgeomean %.0f\tgenerate\t%.0f\t%.0f\t%.2f\t%.0f\t%.3fs\n",
+		rep.Totals.GeomeanInstsPerSec,
 		rep.Totals.InstsPerSec, rep.Totals.UOpsPerSec,
 		rep.Totals.AllocsPerKInst, float64(rep.Totals.Bytes)/1024,
 		rep.Totals.WallSeconds)
 	if rt := rep.ReplayTotals; rt != nil {
-		fmt.Fprintf(tw, "TOTAL\t\treplay\t%.0f\t%.0f\t%.2f\t%.0f\t%.3fs\n",
+		fmt.Fprintf(tw, "TOTAL\tgeomean %.0f\treplay\t%.0f\t%.0f\t%.2f\t%.0f\t%.3fs\n",
+			rt.GeomeanInstsPerSec,
 			rt.InstsPerSec, rt.UOpsPerSec,
 			rt.AllocsPerKInst, float64(rt.Bytes)/1024, rt.WallSeconds)
 	}
@@ -57,5 +89,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *gate != "" {
+		ratio, err := perf.Gate(rep, gateRef, *gateRegress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perf gate vs %s FAILED: %v\n", *gate, err)
+			os.Exit(1)
+		}
+		fmt.Printf("perf gate vs %s ok: geomean insts/sec ratio %.2f (fail below %.2f)\n",
+			*gate, ratio, 1-*gateRegress)
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"bebop/internal/core"
 	"bebop/internal/engine"
 	"bebop/internal/pipeline"
+	"bebop/internal/prof"
 	"bebop/internal/specwindow"
 	"bebop/internal/trace"
 	"bebop/internal/util"
@@ -57,6 +58,8 @@ func main() {
 	stride := flag.Int("stride", 64, "custom: stride bits")
 	win := flag.Int("win", -1, "custom: speculative window entries (-1 inf, 0 none)")
 	pol := flag.String("policy", "Ideal", "custom: recovery policy (Ideal, Repred, DnRDnR, DnRR)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	flag.Parse()
 
 	cat, err := trace.Catalog(*traceDir)
@@ -113,6 +116,10 @@ func main() {
 		}
 	}
 
+	stopCPU, err := prof.StartCPU(*cpuprofile)
+	if err != nil {
+		fatal(err)
+	}
 	// A single simulation is not interruptible mid-run, so no timeout or
 	// signal context here; cancellation matters for batch scheduling
 	// (bebop-sweep, bebop-serve), where queued jobs can still be stopped.
@@ -124,7 +131,11 @@ func main() {
 			return core.RunSource(src, *n, mk)
 		},
 	})
+	stopCPU()
 	if err != nil {
+		fatal(err)
+	}
+	if err := prof.WriteHeap(*memprofile); err != nil {
 		fatal(err)
 	}
 	if *asJSON {
@@ -152,8 +163,8 @@ func printResult(r pipeline.Result) {
 	fmt.Printf("IPC               %.3f\n", r.IPC)
 	fmt.Printf("uops/cycle        %.3f\n", r.UPC)
 	fmt.Printf("branch MPKI       %.2f\n", r.BrMispPKI)
-	fmt.Printf("L1D misses        %d\n", r.L1DMisses)
-	fmt.Printf("L2 misses         %d\n", r.L2Misses)
+	fmt.Printf("L1D misses        %d (+%d MSHR merges)\n", r.L1DMisses, r.L1DMSHRMerges)
+	fmt.Printf("L2 misses         %d (+%d MSHR merges)\n", r.L2Misses, r.L2MSHRMerges)
 	fmt.Printf("squashed uops     %d\n", r.SquashedUOps)
 	fmt.Printf("value mispredicts %d\n", r.ValueMispredicts)
 	fmt.Printf("memorder flushes  %d\n", r.MemOrderFlushes)

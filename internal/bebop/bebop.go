@@ -95,6 +95,10 @@ func New(cfg Config) *BlockVP {
 // Name implements pipeline.VP.
 func (b *BlockVP) Name() string { return "BeBoP-D-VTAGE" }
 
+// RegisterFolds forwards fold registration to the D-VTAGE components, so
+// the per-block predictor access reads O(1) folded-history registers.
+func (b *BlockVP) RegisterFolds(h *branch.History) { b.dvt.RegisterFolds(h) }
+
 // Predictor exposes the wrapped D-VTAGE (tests, stats).
 func (b *BlockVP) Predictor() *predictor.DVTAGE { return b.dvt }
 

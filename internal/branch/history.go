@@ -24,6 +24,10 @@ type History struct {
 	dir [MaxHistoryBits / 64]uint64
 	// path is the path history register (low PC bits of taken targets).
 	path uint64
+	// folds, when non-nil, is the incremental folded-register file (see
+	// fold.go). Its values are a pure function of dir, so snapshots drop
+	// it and restores recompute.
+	folds *foldedSet
 }
 
 // Push records a branch outcome and, when taken, the branch target into the
@@ -32,6 +36,12 @@ func (h *History) Push(taken bool, target uint64) {
 	carryIn := uint64(0)
 	if taken {
 		carryIn = 1
+	}
+	if fs := h.folds; fs != nil {
+		// Registers read the pre-push vector; update them first.
+		for i := range fs.regs {
+			fs.regs[i].push(&h.dir, carryIn)
+		}
 	}
 	for i := range h.dir {
 		carryOut := h.dir[i] >> 63
@@ -44,8 +54,22 @@ func (h *History) Push(taken bool, target uint64) {
 }
 
 // Fold compresses the most recent n bits of direction history into width
-// bits by XOR folding.
+// bits by XOR folding. Registered (n, width) pairs are served from their
+// incrementally maintained register in O(1); everything else falls back
+// to folding from scratch.
 func (h *History) Fold(n, width int) uint64 {
+	if fs := h.folds; fs != nil &&
+		uint(n) <= MaxHistoryBits && uint(width) <= maxFoldWidth {
+		if id := fs.key[n][width]; id != 0 {
+			return fs.regs[id-1].value
+		}
+	}
+	return h.foldSlow(n, width)
+}
+
+// foldSlow is the reference fold: it walks the history words at lookup
+// time. It is the behavior every incremental register must reproduce.
+func (h *History) foldSlow(n, width int) uint64 {
 	if n <= 0 || width <= 0 {
 		return 0
 	}
@@ -86,8 +110,32 @@ func (h *History) Bits(n int) uint64 {
 	return h.dir[0] & ((uint64(1) << n) - 1)
 }
 
-// Snapshot returns a copy of the history for checkpoint/restore.
-func (h *History) Snapshot() History { return *h }
+// Snapshot returns a copy of the history for checkpoint/restore. The
+// snapshot carries no folded registers: their values derive from the
+// direction vector, and a snapshot read through Fold must not alias the
+// live registers.
+func (h *History) Snapshot() History {
+	s := *h
+	s.folds = nil
+	return s
+}
 
-// Restore overwrites the history from a snapshot.
-func (h *History) Restore(s History) { *h = s }
+// Restore overwrites the history from a snapshot (mispredict recovery)
+// and recomputes the folded registers from the restored bit vector.
+func (h *History) Restore(s History) {
+	h.dir = s.dir
+	h.path = s.path
+	if h.folds != nil {
+		h.folds.recompute(h)
+	}
+}
+
+// Reset clears the history to its zero state, keeping the registered
+// fold pairs (their values reset with the bits).
+func (h *History) Reset() {
+	h.dir = [MaxHistoryBits / 64]uint64{}
+	h.path = 0
+	if h.folds != nil {
+		h.folds.zero()
+	}
+}

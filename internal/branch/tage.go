@@ -1,17 +1,31 @@
 package branch
 
-import "bebop/internal/util"
+import (
+	"math"
+
+	"bebop/internal/util"
+)
 
 // TAGE is a TAgged GEometric history length conditional branch predictor
 // (Seznec & Michaud, 2006). The configuration mirrors Table I of the paper:
 // one bimodal base table plus 12 partially tagged components whose history
 // lengths grow geometrically, roughly 15K entries and ~32KB of storage.
+//
+// The tagged components are stored struct-of-arrays: the lookup loop reads
+// one tag per component, and keeping tags, counters and usefulness bits in
+// separate dense slices keeps those reads on as few cache lines as the
+// entry count allows.
 type TAGE struct {
 	cfg  TAGEConfig
 	rng  *util.RNG
 	base []int8 // bimodal 2-bit counters
 
 	comps []tageComp
+
+	// idxBits is log2(CompEntries), shared by every component: the path
+	// fold in the index hash depends only on it, so lookups compute that
+	// fold once.
+	idxBits int
 
 	// useAltOnNA is the "use alternate prediction on newly allocated entry"
 	// counter from the TAGE paper.
@@ -53,14 +67,35 @@ func DefaultTAGEConfig() TAGEConfig {
 	}
 }
 
-type tageEntry struct {
-	ctr    int8 // signed, centered on 0 (taken when >= 0)
-	tag    uint16
-	useful uint8
+// HistoryLengths returns the geometric per-component history lengths
+// MinHist..MaxHist, computed once at configuration time and capped at
+// MaxHistoryBits. Component i uses length ~MinHist·r^i with
+// r = (MaxHist/MinHist)^(1/(NumComps-1)), rounded to nearest.
+func (cfg TAGEConfig) HistoryLengths() []int {
+	lengths := make([]int, cfg.NumComps)
+	ratio := 1.0
+	if cfg.NumComps > 1 {
+		ratio = math.Pow(float64(cfg.MaxHist)/float64(cfg.MinHist), 1/float64(cfg.NumComps-1))
+	}
+	h := float64(cfg.MinHist)
+	for i := range lengths {
+		hl := int(h + 0.5)
+		if hl > MaxHistoryBits {
+			hl = MaxHistoryBits
+		}
+		lengths[i] = hl
+		h *= ratio
+	}
+	return lengths
 }
 
+// tageComp is one tagged component, struct-of-arrays: ctr[i], tag[i] and
+// useful[i] describe entry i.
 type tageComp struct {
-	entries []tageEntry
+	ctr     []int8 // signed, centered on 0 (taken when >= 0)
+	tag     []uint16
+	useful  []uint8
+	mask    uint64 // CompEntries-1 (power of two)
 	histLen int
 	tagBits int
 	idxBits int
@@ -72,29 +107,21 @@ func NewTAGE(cfg TAGEConfig) *TAGE {
 		panic("branch: TAGE table sizes must be powers of two")
 	}
 	t := &TAGE{
-		cfg:  cfg,
-		rng:  util.NewRNG(cfg.Seed),
-		base: make([]int8, cfg.BaseEntries),
+		cfg:     cfg,
+		rng:     util.NewRNG(cfg.Seed),
+		base:    make([]int8, cfg.BaseEntries),
+		idxBits: util.Log2(cfg.CompEntries),
 	}
-	// Geometric history lengths from MinHist to MaxHist.
-	ratio := 1.0
-	if cfg.NumComps > 1 {
-		ratio = pow(float64(cfg.MaxHist)/float64(cfg.MinHist), 1/float64(cfg.NumComps-1))
-	}
-	idxBits := util.Log2(cfg.CompEntries)
-	h := float64(cfg.MinHist)
-	for i := 0; i < cfg.NumComps; i++ {
-		hl := int(h + 0.5)
-		if hl > MaxHistoryBits {
-			hl = MaxHistoryBits
-		}
+	for i, hl := range cfg.HistoryLengths() {
 		t.comps = append(t.comps, tageComp{
-			entries: make([]tageEntry, cfg.CompEntries),
+			ctr:     make([]int8, cfg.CompEntries),
+			tag:     make([]uint16, cfg.CompEntries),
+			useful:  make([]uint8, cfg.CompEntries),
+			mask:    uint64(cfg.CompEntries - 1),
 			histLen: hl,
 			tagBits: cfg.TagBits + i/2,
-			idxBits: idxBits,
+			idxBits: t.idxBits,
 		})
-		h *= ratio
 	}
 	return t
 }
@@ -108,9 +135,11 @@ func (t *TAGE) Reset() {
 		t.base[i] = 0
 	}
 	for c := range t.comps {
-		ents := t.comps[c].entries
-		for i := range ents {
-			ents[i] = tageEntry{}
+		comp := &t.comps[c]
+		for i := range comp.ctr {
+			comp.ctr[i] = 0
+			comp.tag[i] = 0
+			comp.useful[i] = 0
 		}
 	}
 	t.rng = util.NewRNG(t.cfg.Seed)
@@ -119,36 +148,16 @@ func (t *TAGE) Reset() {
 	t.Lookups, t.Mispredicts = 0, 0
 }
 
-func pow(x, y float64) float64 {
-	// Small private pow via exp/log would drag in math; iterate instead.
-	// y is 1/(n-1) with small n, so use Newton on r^(n-1)=x.
-	// For clarity just use repeated refinement:
-	r := 1.5
-	n := int(1/y + 0.5)
-	for iter := 0; iter < 60; iter++ {
-		// f(r) = r^n - x
-		rn := 1.0
-		for i := 0; i < n; i++ {
-			rn *= r
-		}
-		d := float64(n) * rn / r
-		r -= (rn - x) / d
+// RegisterFolds declares every (histLen, width) fold this predictor
+// performs with the history's incremental folded-register file, so
+// lookups read O(1) registers instead of re-folding the history vector.
+func (t *TAGE) RegisterFolds(h *History) {
+	for i := range t.comps {
+		c := &t.comps[i]
+		h.RegisterFold(c.histLen, c.idxBits)
+		h.RegisterFold(c.histLen, c.tagBits)
+		h.RegisterFold(c.histLen, c.tagBits-1)
 	}
-	return r
-}
-
-func (c *tageComp) index(pc uint64, h *History) int {
-	folded := h.Fold(c.histLen, c.idxBits)
-	pathFold := util.FoldBits(h.Path(), 16, c.idxBits)
-	x := util.Mix64(pc>>1) ^ folded ^ pathFold<<1
-	return int(x & uint64(len(c.entries)-1))
-}
-
-func (c *tageComp) tag(pc uint64, h *History) uint16 {
-	folded := h.Fold(c.histLen, c.tagBits)
-	folded2 := h.Fold(c.histLen, c.tagBits-1)
-	x := util.Mix64(pc>>1) ^ folded ^ folded2<<1
-	return uint16(x & ((uint64(1) << c.tagBits) - 1))
 }
 
 // Prediction captures a TAGE lookup so the same provider/alternate state is
@@ -160,34 +169,42 @@ type Prediction struct {
 	provIdx  int
 	provNew  bool // provider entry looked newly allocated (weak & not useful)
 	baseIdx  int
-	indices  [16]int
+	indices  [16]int32
 	tags     [16]uint16
 }
 
 // Predict returns the direction prediction for pc under history h.
+//
+// BeBoP's one-read-per-block discipline, applied to the simulator: the PC
+// hash and the path fold are computed once and shared by all component
+// index/tag derivations, and the per-component history folds are O(1)
+// register reads once the pairs are registered.
 func (t *TAGE) Predict(pc uint64, h *History) Prediction {
 	t.Lookups++
 	var p Prediction
 	p.provider = -1
-	p.baseIdx = int(util.Mix64(pc>>1) & uint64(len(t.base)-1))
+	pcHash := util.Mix64(pc >> 1)
+	p.baseIdx = int(pcHash & uint64(len(t.base)-1))
 	baseTaken := t.base[p.baseIdx] >= 2
 	p.Taken = baseTaken
 	p.altTaken = baseTaken
 
+	pathFold := util.FoldBits(h.Path(), 16, t.idxBits)
 	for i := range t.comps {
 		c := &t.comps[i]
-		p.indices[i] = c.index(pc, h)
-		p.tags[i] = c.tag(pc, h)
+		folded := h.Fold(c.histLen, c.idxBits)
+		p.indices[i] = int32((pcHash ^ folded ^ pathFold<<1) & c.mask)
+		f1 := h.Fold(c.histLen, c.tagBits)
+		f2 := h.Fold(c.histLen, c.tagBits-1)
+		p.tags[i] = uint16((pcHash ^ f1 ^ f2<<1) & ((uint64(1) << c.tagBits) - 1))
 	}
 	// Longest matching component provides; next longest is the alternate.
 	alt := -1
 	for i := len(t.comps) - 1; i >= 0; i-- {
-		c := &t.comps[i]
-		e := &c.entries[p.indices[i]]
-		if e.tag == p.tags[i] {
+		if t.comps[i].tag[p.indices[i]] == p.tags[i] {
 			if p.provider == -1 {
 				p.provider = i
-				p.provIdx = p.indices[i]
+				p.provIdx = int(p.indices[i])
 			} else {
 				alt = i
 				break
@@ -195,13 +212,12 @@ func (t *TAGE) Predict(pc uint64, h *History) Prediction {
 		}
 	}
 	if p.provider >= 0 {
-		e := &t.comps[p.provider].entries[p.provIdx]
-		provTaken := e.ctr >= 0
+		c := &t.comps[p.provider]
+		provTaken := c.ctr[p.provIdx] >= 0
 		if alt >= 0 {
-			ae := &t.comps[alt].entries[p.indices[alt]]
-			p.altTaken = ae.ctr >= 0
+			p.altTaken = t.comps[alt].ctr[p.indices[alt]] >= 0
 		}
-		p.provNew = (e.ctr == 0 || e.ctr == -1) && e.useful == 0
+		p.provNew = (c.ctr[p.provIdx] == 0 || c.ctr[p.provIdx] == -1) && c.useful[p.provIdx] == 0
 		if p.provNew && t.useAltOnNA >= 0 {
 			p.Taken = p.altTaken
 		} else {
@@ -213,14 +229,13 @@ func (t *TAGE) Predict(pc uint64, h *History) Prediction {
 
 // Update trains the predictor with the architectural outcome. It must be
 // called with the same history the prediction used.
-func (t *TAGE) Update(pc uint64, h *History, p Prediction, taken bool) {
+func (t *TAGE) Update(pc uint64, h *History, p *Prediction, taken bool) {
 	if p.Taken != taken {
 		t.Mispredicts++
 	}
 	// useAltOnNA bookkeeping.
 	if p.provider >= 0 && p.provNew {
-		e := &t.comps[p.provider].entries[p.provIdx]
-		provTaken := e.ctr >= 0
+		provTaken := t.comps[p.provider].ctr[p.provIdx] >= 0
 		if provTaken != p.altTaken {
 			if p.altTaken == taken {
 				if t.useAltOnNA < 7 {
@@ -235,19 +250,20 @@ func (t *TAGE) Update(pc uint64, h *History, p Prediction, taken bool) {
 	// Update provider (or bimodal).
 	if p.provider >= 0 {
 		c := &t.comps[p.provider]
-		e := &c.entries[p.provIdx]
+		ctr := c.ctr[p.provIdx]
 		max := int8(1)<<(t.cfg.CtrBits-1) - 1
 		min := -(int8(1) << (t.cfg.CtrBits - 1))
-		if taken && e.ctr < max {
-			e.ctr++
-		} else if !taken && e.ctr > min {
-			e.ctr--
+		if taken && ctr < max {
+			ctr++
+		} else if !taken && ctr > min {
+			ctr--
 		}
-		provTaken := e.ctr >= 0
-		if provTaken == taken && p.altTaken != taken && e.useful < 3 {
-			e.useful++
-		} else if provTaken != taken && p.altTaken == taken && e.useful > 0 {
-			e.useful--
+		c.ctr[p.provIdx] = ctr
+		provTaken := ctr >= 0
+		if provTaken == taken && p.altTaken != taken && c.useful[p.provIdx] < 3 {
+			c.useful[p.provIdx]++
+		} else if provTaken != taken && p.altTaken == taken && c.useful[p.provIdx] > 0 {
+			c.useful[p.provIdx]--
 		}
 	} else {
 		b := &t.base[p.baseIdx]
@@ -268,27 +284,27 @@ func (t *TAGE) Update(pc uint64, h *History, p Prediction, taken bool) {
 	if t.tick >= t.cfg.UsefulResetAt {
 		t.tick = 0
 		for i := range t.comps {
-			for j := range t.comps[i].entries {
-				t.comps[i].entries[j].useful >>= 1
+			u := t.comps[i].useful
+			for j := range u {
+				u[j] >>= 1
 			}
 		}
 	}
 }
 
-func (t *TAGE) allocate(p Prediction, taken bool) {
+func (t *TAGE) allocate(p *Prediction, taken bool) {
 	start := p.provider + 1
 	// Count allocation candidates (useful == 0).
 	free := 0
 	for i := start; i < len(t.comps); i++ {
-		if t.comps[i].entries[p.indices[i]].useful == 0 {
+		if t.comps[i].useful[p.indices[i]] == 0 {
 			free++
 		}
 	}
 	if free == 0 {
 		for i := start; i < len(t.comps); i++ {
-			e := &t.comps[i].entries[p.indices[i]]
-			if e.useful > 0 {
-				e.useful--
+			if u := &t.comps[i].useful[p.indices[i]]; *u > 0 {
+				*u--
 			}
 		}
 		return
@@ -299,18 +315,19 @@ func (t *TAGE) allocate(p Prediction, taken bool) {
 		pick = 0
 	}
 	for i := start; i < len(t.comps); i++ {
-		e := &t.comps[i].entries[p.indices[i]]
-		if e.useful != 0 {
+		c := &t.comps[i]
+		idx := p.indices[i]
+		if c.useful[idx] != 0 {
 			continue
 		}
 		if pick == 0 {
-			e.tag = p.tags[i]
+			c.tag[idx] = p.tags[i]
 			if taken {
-				e.ctr = 0
+				c.ctr[idx] = 0
 			} else {
-				e.ctr = -1
+				c.ctr[idx] = -1
 			}
-			e.useful = 0
+			c.useful[idx] = 0
 			return
 		}
 		pick--
@@ -322,7 +339,7 @@ func (t *TAGE) StorageBits() int {
 	bits := len(t.base) * 2
 	for i := range t.comps {
 		c := &t.comps[i]
-		bits += len(c.entries) * (t.cfg.CtrBits + c.tagBits + 2)
+		bits += len(c.ctr) * (t.cfg.CtrBits + c.tagBits + 2)
 	}
 	return bits
 }

@@ -1,0 +1,40 @@
+package branch
+
+import "testing"
+
+// TestHistoryLengthsPinned pins the geometric history lengths the default
+// configuration produces. The seed computed these at predictor-build time
+// with a hand-rolled Newton iteration; the lengths are now derived once at
+// config time and must never drift — every TAGE (and TAGE-consumer) table
+// index depends on them.
+func TestHistoryLengthsPinned(t *testing.T) {
+	got := DefaultTAGEConfig().HistoryLengths()
+	want := []int{4, 6, 9, 12, 18, 26, 39, 56, 82, 120, 175, 256}
+	if len(got) != len(want) {
+		t.Fatalf("HistoryLengths() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("HistoryLengths()[%d] = %d, want %d (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestHistoryLengthsEdges covers the degenerate geometries: a single
+// component uses MinHist; lengths cap at MaxHistoryBits.
+func TestHistoryLengthsEdges(t *testing.T) {
+	one := TAGEConfig{NumComps: 1, MinHist: 7, MaxHist: 99}
+	if got := one.HistoryLengths(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("single-component lengths = %v, want [7]", got)
+	}
+	big := TAGEConfig{NumComps: 4, MinHist: 128, MaxHist: 4096}
+	ls := big.HistoryLengths()
+	for i, l := range ls {
+		if l > MaxHistoryBits {
+			t.Fatalf("lengths[%d] = %d exceeds MaxHistoryBits (%v)", i, l, ls)
+		}
+	}
+	if ls[len(ls)-1] != MaxHistoryBits {
+		t.Fatalf("capped tail = %d, want %d (%v)", ls[len(ls)-1], MaxHistoryBits, ls)
+	}
+}

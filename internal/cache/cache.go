@@ -26,6 +26,13 @@ type Config struct {
 	MSHRs     int // max outstanding misses
 }
 
+// mshr is one in-flight miss record: the missing line and its fill
+// completion cycle.
+type mshr struct {
+	line uint64
+	done int64
+}
+
 // Cache is one level of set-associative cache with LRU replacement and
 // MSHR-style miss tracking.
 type Cache struct {
@@ -37,11 +44,22 @@ type Cache struct {
 	lastUse []uint64
 	clock   uint64
 
-	// mshrs maps in-flight missing line address -> fill completion cycle.
-	mshrs map[uint64]int64
+	// mshrs holds the in-flight misses. MSHR counts are small and bounded
+	// (Config.MSHRs, 64 in Table I), so a dense slice scan beats a map on
+	// every axis that matters here: the merge probe walks a few cache
+	// lines, reaping compacts in place, and the MSHR-full stall reads the
+	// tracked minimum instead of iterating. mshrMin caches the earliest
+	// completion cycle so the per-access reap is an integer compare while
+	// no miss has completed.
+	mshrs   []mshr
+	mshrMin int64
 
 	// next lower level; nil means backed by main memory (via Hierarchy).
 	Accesses, Misses, PrefetchFills uint64
+	// MSHRMerges counts misses that merged into an already in-flight
+	// MSHR instead of starting a new fill — the secondary-miss traffic
+	// Accesses/Misses alone leave invisible.
+	MSHRMerges uint64
 }
 
 // NewCache builds a cache level.
@@ -58,7 +76,7 @@ func NewCache(name string, cfg Config) *Cache {
 		tags:    make([]uint64, lines),
 		valid:   make([]bool, lines),
 		lastUse: make([]uint64, lines),
-		mshrs:   make(map[uint64]int64),
+		mshrs:   make([]mshr, 0, cfg.MSHRs+1),
 	}
 }
 
@@ -71,19 +89,23 @@ func (c *Cache) Reset() {
 		c.lastUse[i] = 0
 	}
 	c.clock = 0
-	clear(c.mshrs)
-	c.Accesses, c.Misses, c.PrefetchFills = 0, 0, 0
+	c.mshrs = c.mshrs[:0]
+	c.mshrMin = 0
+	c.Accesses, c.Misses, c.PrefetchFills, c.MSHRMerges = 0, 0, 0, 0
 }
 
 func (c *Cache) set(line uint64) int {
 	return int(line & uint64(c.sets-1))
 }
 
-// probe looks for a line without modifying replacement state.
+// probe looks for a line without modifying replacement state. The tag
+// compare comes first: it almost always fails, and the valid-bit load —
+// which disambiguates a zero tag from an empty way — is only paid on a
+// match.
 func (c *Cache) probe(line uint64) (way int, hit bool) {
 	base := c.set(line) * c.cfg.Ways
 	for w := 0; w < c.cfg.Ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == line {
+		if c.tags[base+w] == line && c.valid[base+w] {
 			return base + w, true
 		}
 	}
@@ -118,12 +140,46 @@ func (c *Cache) fill(line uint64) {
 	c.lastUse[victim] = c.clock
 }
 
-// reapMSHRs drops completed miss records.
+// reapMSHRs drops completed miss records. While the earliest outstanding
+// completion is still in the future the whole reap is one compare.
 func (c *Cache) reapMSHRs(now int64) {
-	for line, done := range c.mshrs {
-		if done <= now {
-			delete(c.mshrs, line)
+	if len(c.mshrs) == 0 || now < c.mshrMin {
+		return
+	}
+	w := 0
+	min := int64(1<<63 - 1)
+	for _, m := range c.mshrs {
+		if m.done <= now {
+			continue
 		}
+		c.mshrs[w] = m
+		w++
+		if m.done < min {
+			min = m.done
+		}
+	}
+	c.mshrs = c.mshrs[:w]
+	if w == 0 {
+		min = 0
+	}
+	c.mshrMin = min
+}
+
+// mshrLookup finds the in-flight record for line, if any.
+func (c *Cache) mshrLookup(line uint64) (int64, bool) {
+	for i := range c.mshrs {
+		if c.mshrs[i].line == line {
+			return c.mshrs[i].done, true
+		}
+	}
+	return 0, false
+}
+
+// mshrInsert records a new in-flight miss.
+func (c *Cache) mshrInsert(line uint64, done int64) {
+	c.mshrs = append(c.mshrs, mshr{line: line, done: done})
+	if len(c.mshrs) == 1 || done < c.mshrMin {
+		c.mshrMin = done
 	}
 }
 
@@ -187,25 +243,18 @@ func (h *Hierarchy) accessThrough(c *Cache, line uint64, now int64, lower func(i
 	}
 	c.Misses++
 	// Merge into an in-flight MSHR if present.
-	if done, ok := c.mshrs[line]; ok {
+	if done, ok := c.mshrLookup(line); ok {
+		c.MSHRMerges++
 		return done
 	}
 	// MSHR exhaustion: the access waits until the earliest outstanding
 	// miss completes and frees an MSHR.
 	start := now
-	if len(c.mshrs) >= c.cfg.MSHRs {
-		first := int64(-1)
-		for _, d := range c.mshrs {
-			if first < 0 || d < first {
-				first = d
-			}
-		}
-		if first > start {
-			start = first
-		}
+	if len(c.mshrs) >= c.cfg.MSHRs && c.mshrMin > start {
+		start = c.mshrMin
 	}
 	fillDone := lower(start + int64(c.cfg.Latency))
-	c.mshrs[line] = fillDone
+	c.mshrInsert(line, fillDone)
 	c.fill(line)
 	return fillDone
 }

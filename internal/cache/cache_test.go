@@ -62,6 +62,35 @@ func TestMSHRMerging(t *testing.T) {
 	}
 }
 
+// TestMSHRMergeCounted pins the MSHRMerges statistic: an access that
+// misses while its line's fill is still in flight (the line was evicted
+// by set conflicts in the meantime) must coalesce into the existing MSHR
+// and be counted as a merge, not start a new fill.
+func TestMSHRMergeCounted(t *testing.T) {
+	h := newTestHierarchy()
+	target := uint64(0x777000)
+	a := h.ReadData(0x400000, target, 0)
+	// Evict target from its 8-way L1D set (64 sets, so lines 4KB apart
+	// conflict) while its fill is still outstanding.
+	for i := 1; i <= 8; i++ {
+		h.ReadData(0x400000, target+uint64(i)*4096, int64(i))
+	}
+	merged := h.ReadData(0x400000, target, 10)
+	if h.L1D.MSHRMerges != 1 {
+		t.Fatalf("L1D.MSHRMerges = %d, want 1", h.L1D.MSHRMerges)
+	}
+	if merged != a {
+		t.Fatalf("merged access completes at %d, want the in-flight fill's %d", merged, a)
+	}
+	if h.L1D.Misses != 10 {
+		t.Fatalf("L1D.Misses = %d, want 10 (merges count as misses)", h.L1D.Misses)
+	}
+	h.L1D.Reset()
+	if h.L1D.MSHRMerges != 0 {
+		t.Fatalf("Reset left MSHRMerges = %d", h.L1D.MSHRMerges)
+	}
+}
+
 func TestMSHRBoundsOutstanding(t *testing.T) {
 	cfg := DefaultHierarchyConfig()
 	cfg.L1D.MSHRs = 4

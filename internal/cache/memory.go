@@ -36,6 +36,12 @@ type Memory struct {
 	openRow  []uint64
 	busFree  int64
 
+	// rowShift/bankMask strength-reduce the per-access row and bank
+	// derivation when RowBytes and Banks are powers of two (they are in
+	// every Table I-shaped config); -1/0 fall back to divide/modulo.
+	rowShift int
+	bankMask uint64
+
 	Accesses, RowHits uint64
 }
 
@@ -45,6 +51,13 @@ func NewMemory(cfg MemConfig) *Memory {
 		cfg:      cfg,
 		bankFree: make([]int64, cfg.Banks),
 		openRow:  make([]uint64, cfg.Banks),
+		rowShift: -1,
+	}
+	if util.IsPowerOfTwo(cfg.RowBytes) {
+		m.rowShift = util.Log2(cfg.RowBytes)
+	}
+	if util.IsPowerOfTwo(cfg.Banks) {
+		m.bankMask = uint64(cfg.Banks - 1)
 	}
 	for i := range m.openRow {
 		m.openRow[i] = ^uint64(0)
@@ -67,8 +80,18 @@ func (m *Memory) Reset() {
 func (m *Memory) Access(line uint64, now int64) int64 {
 	m.Accesses++
 	addr := line << lineShift
-	bank := int(util.Mix64(addr/uint64(m.cfg.RowBytes)) % uint64(m.cfg.Banks))
-	row := addr / uint64(m.cfg.RowBytes)
+	var row uint64
+	if m.rowShift >= 0 {
+		row = addr >> m.rowShift
+	} else {
+		row = addr / uint64(m.cfg.RowBytes)
+	}
+	var bank int
+	if m.bankMask != 0 {
+		bank = int(util.Mix64(row) & m.bankMask)
+	} else {
+		bank = int(util.Mix64(row) % uint64(m.cfg.Banks))
+	}
 
 	start := now
 	if m.bankFree[bank] > start {

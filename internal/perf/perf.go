@@ -18,6 +18,7 @@ package perf
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -36,7 +37,13 @@ import (
 // workload is also recorded as a .bbt trace and replayed through the
 // baseline pipeline, so the trajectory shows what the trace format
 // costs (or saves) relative to generating instructions live.
-const Schema = 2
+//
+// Schema 3 added Totals.GeomeanInstsPerSec: the geometric mean of the
+// per-cell insts/sec rates, the headline number of the folded-history /
+// data-layout PR (aggregate insts/sec overweights long-running cells;
+// the geomean weighs every workload equally, so memory-bound mcf counts
+// as much as swim) and the quantity the CI perf gate compares.
+const Schema = 3
 
 // PinnedWorkloads is the fixed benchmark subset every trajectory point
 // runs: predictable (swim), mixed (gcc, bzip2), memory-bound (mcf),
@@ -95,6 +102,10 @@ type Totals struct {
 	Allocs         uint64  `json:"allocs"`
 	Bytes          uint64  `json:"bytes"`
 	AllocsPerKInst float64 `json:"allocs_per_kinst"`
+	// GeomeanInstsPerSec is the geometric mean of the per-cell
+	// insts/sec rates (schema 3): every workload counts equally,
+	// however long it runs.
+	GeomeanInstsPerSec float64 `json:"geomean_insts_per_sec"`
 }
 
 // Report is one trajectory point: everything written to
@@ -198,8 +209,8 @@ func Measure(opts Options) (Report, error) {
 		rep.Points = append(rep.Points, p)
 		addPoint(&replayTotals, p)
 	}
-	finishTotals(&rep.Totals)
-	finishTotals(&replayTotals)
+	finishTotals(&rep.Totals, rep.Points, "generate")
+	finishTotals(&replayTotals, rep.Points, "replay")
 	rep.ReplayTotals = &replayTotals
 	return rep, nil
 }
@@ -248,7 +259,7 @@ func addPoint(t *Totals, p Point) {
 	t.Bytes += p.Bytes
 }
 
-func finishTotals(t *Totals) {
+func finishTotals(t *Totals, points []Point, mode string) {
 	if t.WallSeconds > 0 {
 		t.InstsPerSec = float64(t.Insts) / t.WallSeconds
 		t.UOpsPerSec = float64(t.UOps) / t.WallSeconds
@@ -256,6 +267,63 @@ func finishTotals(t *Totals) {
 	if t.Insts > 0 {
 		t.AllocsPerKInst = 1000 * float64(t.Allocs) / float64(t.Insts)
 	}
+	t.GeomeanInstsPerSec = geomeanRate(points, mode)
+}
+
+// geomeanRate is the geometric mean of insts/sec over the points of one
+// mode; 0 if no point of that mode has a positive rate.
+func geomeanRate(points []Point, mode string) float64 {
+	sum, n := 0.0, 0
+	for _, p := range points {
+		if p.Mode != mode || p.InstsPerSec <= 0 {
+			continue
+		}
+		sum += math.Log(p.InstsPerSec)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Gate compares a fresh report against a committed reference and returns
+// the geomean ratio of per-cell insts/sec over the (config, bench, mode)
+// cells the two have in common. It fails when the ratio falls below
+// 1-maxRegress — a CI tripwire for order-of-magnitude hot-path mistakes,
+// with the threshold left loose enough to absorb runner-to-runner noise.
+func Gate(fresh, ref Report, maxRegress float64) (float64, error) {
+	type key struct{ config, bench, mode string }
+	refRate := make(map[key]float64, len(ref.Points))
+	for _, p := range ref.Points {
+		if p.InstsPerSec > 0 {
+			refRate[key{p.Config, p.Bench, p.Mode}] = p.InstsPerSec
+		}
+	}
+	sum, n := 0.0, 0
+	worst, worstCell := math.Inf(1), ""
+	for _, p := range fresh.Points {
+		old, ok := refRate[key{p.Config, p.Bench, p.Mode}]
+		if !ok || p.InstsPerSec <= 0 {
+			continue
+		}
+		r := p.InstsPerSec / old
+		sum += math.Log(r)
+		n++
+		if r < worst {
+			worst, worstCell = r, p.Config+"/"+p.Bench+"/"+p.Mode
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("perf: gate found no common (config, bench, mode) cells")
+	}
+	ratio := math.Exp(sum / float64(n))
+	if ratio < 1-maxRegress {
+		return ratio, fmt.Errorf(
+			"geomean insts/sec ratio %.3f below %.3f over %d cells (worst cell %s at %.3f)",
+			ratio, 1-maxRegress, n, worstCell, worst)
+	}
+	return ratio, nil
 }
 
 // WriteFile serializes the report as indented JSON at path.

@@ -107,3 +107,57 @@ func TestPinnedSetIsValid(t *testing.T) {
 		t.Fatalf("pinned matrix produced %d points, want %d", len(rep.Points), want)
 	}
 }
+
+// gateReport builds a minimal report whose generate cells run at the
+// given rates (keyed by bench name under one config).
+func gateReport(rates map[string]float64) Report {
+	var rep Report
+	for bench, r := range rates {
+		rep.Points = append(rep.Points, Point{
+			Config: "cfg", Bench: bench, Mode: "generate", InstsPerSec: r,
+		})
+	}
+	return rep
+}
+
+func TestGate(t *testing.T) {
+	ref := gateReport(map[string]float64{"a": 1000, "b": 2000})
+
+	// Identical rates pass with ratio 1.
+	if ratio, err := Gate(gateReport(map[string]float64{"a": 1000, "b": 2000}), ref, 0.25); err != nil || ratio != 1 {
+		t.Fatalf("identical reports: ratio=%v err=%v", ratio, err)
+	}
+	// A uniform 10% regression stays inside a 25% gate.
+	if _, err := Gate(gateReport(map[string]float64{"a": 900, "b": 1800}), ref, 0.25); err != nil {
+		t.Fatalf("10%% regression tripped a 25%% gate: %v", err)
+	}
+	// An order-of-magnitude mistake fails.
+	if _, err := Gate(gateReport(map[string]float64{"a": 100, "b": 200}), ref, 0.25); err == nil {
+		t.Fatal("10x regression passed a 25% gate")
+	}
+	// Cells only one side has are ignored; no common cells is an error.
+	if _, err := Gate(gateReport(map[string]float64{"zzz": 1000}), ref, 0.25); err == nil {
+		t.Fatal("gate with no common cells must error")
+	}
+}
+
+// TestGeomeanInTotals pins the schema-3 field: totals carry the geomean
+// of their mode's per-cell rates.
+func TestGeomeanInTotals(t *testing.T) {
+	rep, err := Measure(Options{Insts: 1000, Workloads: []string{"swim", "gcc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != 3 {
+		t.Fatalf("Schema = %d, want 3", rep.Schema)
+	}
+	if rep.Totals.GeomeanInstsPerSec <= 0 {
+		t.Fatalf("generate geomean not computed: %+v", rep.Totals)
+	}
+	if rep.ReplayTotals.GeomeanInstsPerSec <= 0 {
+		t.Fatalf("replay geomean not computed: %+v", rep.ReplayTotals)
+	}
+	if got := geomeanRate(rep.Points, "generate"); got != rep.Totals.GeomeanInstsPerSec {
+		t.Fatalf("generate geomean %v != recomputed %v", rep.Totals.GeomeanInstsPerSec, got)
+	}
+}

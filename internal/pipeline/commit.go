@@ -28,6 +28,7 @@ func (p *Processor) commitStage() {
 		}
 
 		p.rob.PopFront()
+		p.execEvents++
 		u.Committed = true
 		p.inflightClear(u)
 		committed++
@@ -84,7 +85,7 @@ func (p *Processor) retireInstControl(di *dynInst) {
 			if di.brPred.Taken != in.Taken {
 				p.stats.BrMispredicts++
 			}
-			p.tage.Update(in.PC, &p.hist, di.brPred, in.Taken)
+			p.tage.Update(in.PC, &p.hist, &di.brPred, in.Taken)
 		}
 	} else if di.uops[len(di.uops)-1].BrMispredicted {
 		p.stats.BrMispredicts++

@@ -94,6 +94,12 @@ type Config struct {
 	// FreeLoadImm executes load-immediate µ-ops in the front end using the
 	// VP write ports (Section II-B3); requires VP.
 	FreeLoadImm bool
+
+	// DisableIncrementalFolds forces every history fold back onto the
+	// from-scratch reference path instead of the incrementally maintained
+	// folded registers. The two paths are bit-identical; this knob exists
+	// so the differential tests can prove it on whole-pipeline runs.
+	DisableIncrementalFolds bool
 }
 
 // DefaultConfig returns the Baseline_6_60 configuration of Table I.

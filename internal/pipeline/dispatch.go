@@ -69,6 +69,7 @@ func (p *Processor) classifyDispatch(u *UOp) bool {
 }
 
 func (p *Processor) dispatch(u *UOp, needsIQ bool) {
+	p.execEvents++
 	u.Dispatched = true
 	u.DispatchAt = p.now
 

@@ -126,11 +126,34 @@ func (p *Processor) consumeInst() {
 	p.pending.PopFront()
 }
 
+// newUOp hands out µ-ops from a contiguous slab, so the µ-ops of nearby
+// instructions — which the IQ sweep, the wakeup checks and the commit
+// walk touch together — share pages and often cache lines instead of
+// being scattered one heap object at a time. µ-ops are never freed
+// individually (their dynInst keeps them for reuse), so the slab only
+// ever moves forward.
+func (p *Processor) newUOp() *UOp {
+	if len(p.uopSlab) == 0 {
+		p.uopSlab = make([]UOp, 128)
+	}
+	u := &p.uopSlab[0]
+	p.uopSlab = p.uopSlab[1:]
+	return u
+}
+
 func (p *Processor) allocInst() *dynInst {
 	if n := len(p.instPool); n > 0 {
 		di := p.instPool[n-1]
 		p.instPool = p.instPool[:n-1]
-		*di = dynInst{uops: di.uops}
+		// Selective reset instead of zeroing the whole record (~500B with
+		// the embedded Inst, Prediction and History snapshot): inst is
+		// fully written by stream.Next before any read, and brPred /
+		// histBefore are only read under brPredOK / pushedHist, which are
+		// set together with a fresh value.
+		di.brPredOK = false
+		di.pushedHist = false
+		di.committed = 0
+		di.pooled = false
 		return di
 	}
 	return &dynInst{}
@@ -167,7 +190,7 @@ func (p *Processor) activateInst(di *dynInst) {
 	}
 	for i := 0; i < in.NumUOps; i++ {
 		if uops[i] == nil {
-			uops[i] = new(UOp)
+			uops[i] = p.newUOp()
 		}
 	}
 	di.uops = uops[:in.NumUOps]
@@ -175,7 +198,7 @@ func (p *Processor) activateInst(di *dynInst) {
 	di.pushedHist = false
 	for i := 0; i < in.NumUOps; i++ {
 		u := di.uops[i]
-		*u = UOp{}
+		u.reset()
 		mo := &in.UOps[i]
 		u.Seq = p.seqCtr
 		p.seqCtr++

@@ -6,6 +6,7 @@ package pipeline
 // notifies the value prediction infrastructure so the speculative window
 // and FIFO update queue can apply their recovery policy (Section IV-A).
 func (p *Processor) flushFrom(keepSeq uint64) {
+	p.execEvents++
 	// Close any open fetch-block occurrence first so the VP layer sees a
 	// consistent prediction block before squash callbacks arrive.
 	p.closeBlock()

@@ -13,7 +13,20 @@ import "bebop/internal/isa"
 // memory-order violation checks of the issued stores. The deferral
 // matters: a violation squashes (flushFrom filters the IQ), which must
 // not happen while the sweep is rewriting the ring.
+//
+// A sweep that evaluated every entry and found none ready proves when the
+// next sweep could possibly issue: the earliest sleep bound of the
+// waiting entries, or the next availability-changing pipeline event
+// (execEvents) for entries with no time bound. Until then whole sweeps
+// are skipped — this is what keeps a memory-bound phase (60 loads parked
+// on DRAM fills for ~200 cycles) from re-walking the queue every cycle.
+// Any entry whose readiness was not fully evaluated (FU budget or issue
+// width exhausted, divider busy, ready but port-blocked) makes the sweep
+// non-skippable.
 func (p *Processor) issueStage() {
+	if p.now < p.iqSkipUntil && p.execEvents == p.iqSkipEvents {
+		return
+	}
 	alu := p.cfg.FU.ALU
 	muldiv := p.cfg.FU.MulDiv
 	fp := p.cfg.FU.FP
@@ -22,66 +35,112 @@ func (p *Processor) issueStage() {
 	st := p.cfg.FU.StPorts
 	issued := 0
 
+	skippable := true
+	minWake := int64(1<<63 - 1)
+
 	p.issuedStores = p.issuedStores[:0]
 	w := 0
-	for i := 0; i < p.iq.Len(); i++ {
+	iqLen := p.iq.Len()
+	for i := 0; i < iqLen; i++ {
 		u := p.iq.At(i)
 		if issued >= p.cfg.IssueWidth {
+			skippable = false
 			p.iq.Set(w, u)
 			w++
 			continue
 		}
 		ok := false
+		checked := false // ready(u) was evaluated
+		rdy := false
 		switch u.Class {
 		case isa.ClassALU, isa.ClassBranch, isa.ClassNop:
-			if alu > 0 && p.ready(u) {
-				alu--
-				ok = true
+			if alu > 0 {
+				checked = true
+				if rdy = p.ready(u); rdy {
+					alu--
+					ok = true
+				}
 			}
 		case isa.ClassMul:
-			if muldiv > 0 && p.ready(u) {
-				muldiv--
-				ok = true
+			if muldiv > 0 {
+				checked = true
+				if rdy = p.ready(u); rdy {
+					muldiv--
+					ok = true
+				}
 			}
 		case isa.ClassDiv:
-			if muldiv > 0 && p.now >= p.divBusyUntil && p.ready(u) {
-				muldiv--
-				ok = true
-				p.divBusyUntil = p.now + classLatency(isa.ClassDiv)
+			if muldiv > 0 && p.now >= p.divBusyUntil {
+				checked = true
+				if rdy = p.ready(u); rdy {
+					muldiv--
+					ok = true
+					p.divBusyUntil = p.now + classLatency(isa.ClassDiv)
+				}
 			}
 		case isa.ClassFP:
-			if fp > 0 && p.ready(u) {
-				fp--
-				ok = true
+			if fp > 0 {
+				checked = true
+				if rdy = p.ready(u); rdy {
+					fp--
+					ok = true
+				}
 			}
 		case isa.ClassFPMul:
-			if fpmul > 0 && p.ready(u) {
-				fpmul--
-				ok = true
+			if fpmul > 0 {
+				checked = true
+				if rdy = p.ready(u); rdy {
+					fpmul--
+					ok = true
+				}
 			}
 		case isa.ClassFPDiv:
-			if fpmul > 0 && p.now >= p.fpDivBusyUntil && p.ready(u) {
-				fpmul--
-				ok = true
-				p.fpDivBusyUntil = p.now + classLatency(isa.ClassFPDiv)
+			if fpmul > 0 && p.now >= p.fpDivBusyUntil {
+				checked = true
+				if rdy = p.ready(u); rdy {
+					fpmul--
+					ok = true
+					p.fpDivBusyUntil = p.now + classLatency(isa.ClassFPDiv)
+				}
 			}
 		case isa.ClassLoad:
-			if ldst > 0 && p.ready(u) && p.loadMayIssue(u) {
-				ldst--
-				ok = true
+			if ldst > 0 {
+				checked = true
+				if rdy = p.ready(u); rdy && p.loadMayIssue(u) {
+					ldst--
+					ok = true
+				}
 			}
 		case isa.ClassStore:
-			if (st > 0 || ldst > 0) && p.ready(u) {
-				if st > 0 {
-					st--
-				} else {
-					ldst--
+			if st > 0 || ldst > 0 {
+				checked = true
+				if rdy = p.ready(u); rdy {
+					if st > 0 {
+						st--
+					} else {
+						ldst--
+					}
+					ok = true
 				}
-				ok = true
 			}
 		}
+		if !checked || rdy {
+			// Unknown readiness, issued, or ready-but-blocked (ports,
+			// memory ordering): the next cycle may differ for reasons the
+			// wake bounds do not cover.
+			skippable = false
+		} else if u.depSleepUntil > p.now {
+			if u.depSleepUntil < minWake {
+				minWake = u.depSleepUntil
+			}
+		}
+		// else: event-stalled — wakes only through execEvents.
 		if !ok {
-			p.iq.Set(w, u)
+			// Compact only once a gap exists; before the first issue every
+			// survivor is already in place.
+			if w != i {
+				p.iq.Set(w, u)
+			}
 			w++
 			continue
 		}
@@ -89,6 +148,12 @@ func (p *Processor) issueStage() {
 		p.issue(u)
 	}
 	p.iq.TruncateBack(w)
+	if skippable {
+		p.iqSkipUntil = minWake
+		p.iqSkipEvents = p.execEvents
+	} else {
+		p.iqSkipUntil = 0
+	}
 	for _, s := range p.issuedStores {
 		// A violation flush triggered by an older store may have squashed
 		// this one; a squashed store's check is void.
@@ -99,6 +164,7 @@ func (p *Processor) issueStage() {
 }
 
 func (p *Processor) issue(u *UOp) {
+	p.execEvents++
 	u.Issued = true
 	u.InIQ = false
 	u.IssuedAt = p.now
@@ -121,28 +187,18 @@ func (p *Processor) issue(u *UOp) {
 // whose data is not yet available (no speculative bypassing of unresolved
 // same-address stores; unknown-address stores are speculatively bypassed,
 // which is what store sets exist to police).
+//
+// The store-queue walk doubles as the forwarding search: when the load may
+// issue, p.fwdStore holds the youngest older matching store (every match
+// is then known complete), so executeLoad — which runs immediately after,
+// with no store state change in between — does not re-scan the queue.
 func (p *Processor) loadMayIssue(u *UOp) bool {
+	p.fwdStore = nil
 	if u.StoreDepSeq != 0 {
 		if s := p.lookup(u.StoreDepSeq); s != nil && !(s.Executed && p.now >= s.DoneAt) {
 			return false
 		}
 	}
-	for i := 0; i < p.sq.Len(); i++ {
-		s := p.sq.At(i)
-		if s.Seq >= u.Seq {
-			break
-		}
-		if s.Issued && sameWord(s.Addr, u.Addr) && p.now < s.DoneAt {
-			return false
-		}
-	}
-	return true
-}
-
-// executeLoad returns the load's completion cycle: store-to-load forward
-// from the youngest older matching store, or a D-cache access (1 cycle of
-// address generation + the hierarchy latency).
-func (p *Processor) executeLoad(u *UOp) int64 {
 	var fwd *UOp
 	for i := 0; i < p.sq.Len(); i++ {
 		s := p.sq.At(i)
@@ -150,10 +206,23 @@ func (p *Processor) executeLoad(u *UOp) int64 {
 			break
 		}
 		if s.Issued && sameWord(s.Addr, u.Addr) {
+			if p.now < s.DoneAt {
+				return false
+			}
 			fwd = s
 		}
 	}
-	if fwd != nil {
+	p.fwdStore = fwd
+	return true
+}
+
+// executeLoad returns the load's completion cycle: store-to-load forward
+// from the youngest older matching store (found by loadMayIssue in the
+// same cycle), or a D-cache access (1 cycle of address generation + the
+// hierarchy latency).
+func (p *Processor) executeLoad(u *UOp) int64 {
+	if fwd := p.fwdStore; fwd != nil {
+		p.fwdStore = nil
 		p.stats.StoreForwards++
 		done := p.now + 2
 		if fwd.DoneAt+1 > done {

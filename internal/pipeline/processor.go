@@ -20,6 +20,13 @@ type Processor struct {
 	now    int64
 	seqCtr uint64
 
+	// execEvents counts events that can change operand availability —
+	// dispatches (PRF writes of confident predictions), executions,
+	// commits and flushes. UOp.depStallEvents compares against it to skip
+	// readiness re-checks that cannot succeed yet. Starts at 1 so a
+	// zero-value µ-op never looks already-stalled.
+	execEvents uint64
+
 	hist branch.History
 	tage *branch.TAGE
 	btb  *branch.BTB
@@ -56,21 +63,37 @@ type Processor struct {
 	divBusyUntil, fpDivBusyUntil int64
 
 	instPool []*dynInst
+	// uopSlab is the bump allocator newUOp draws from (hot-path data
+	// locality; see newUOp).
+	uopSlab []UOp
 
 	// Reusable scratch buffers (issueStage violation checks, flushFrom
 	// squash collection).
 	issuedStores  []*UOp
 	squashScratch []*dynInst
 
+	// fwdStore carries the forwarding store found by loadMayIssue to
+	// executeLoad within the same issue decision (one store-queue walk
+	// instead of two).
+	fwdStore *UOp
+
+	// iqSkipUntil/iqSkipEvents record an issue-free window proven by the
+	// last full sweep: until iqSkipUntil, with execEvents unchanged, no
+	// IQ entry can become ready, so issueStage returns immediately.
+	iqSkipUntil  int64
+	iqSkipEvents uint64
+
 	stats Stats
 	// Measurement window: counters at the warmup boundary are snapshotted
 	// and subtracted, mirroring the paper's "warm 50M, measure 100M"
 	// methodology.
-	warmed     bool
-	warmStats  Stats
-	warmCycles int64
-	warmL1D    uint64
-	warmL2     uint64
+	warmed       bool
+	warmStats    Stats
+	warmCycles   int64
+	warmL1D      uint64
+	warmL2       uint64
+	warmL1DMerge uint64
+	warmL2Merge  uint64
 }
 
 // Stats accumulates run statistics.
@@ -96,13 +119,18 @@ type Stats struct {
 type Result struct {
 	Config string
 	Stats
-	IPC         float64 // instructions per cycle
-	UPC         float64 // µ-ops per cycle
-	VP          VPStats
-	BrMispPKI   float64 // branch mispredictions per kilo-instruction
-	L1DMisses   uint64
-	L2Misses    uint64
-	StorageBits int
+	IPC       float64 // instructions per cycle
+	UPC       float64 // µ-ops per cycle
+	VP        VPStats
+	BrMispPKI float64 // branch mispredictions per kilo-instruction
+	L1DMisses uint64
+	L2Misses  uint64
+	// MSHR merges per level: misses that coalesced into an already
+	// in-flight fill instead of starting a new one — secondary-miss
+	// traffic that Accesses/Misses alone leave invisible.
+	L1DMSHRMerges uint64
+	L2MSHRMerges  uint64
+	StorageBits   int
 }
 
 const inflightRing = 2048
@@ -120,7 +148,30 @@ func New(cfg Config, stream isa.Stream) *Processor {
 		inflight: make([]*UOp, inflightRing),
 	}
 	p.seqCtr = 1
+	p.execEvents = 1
+	p.initHistoryFolds()
 	return p
+}
+
+// initHistoryFolds attaches the incremental folded-register file to the
+// global history and lets every fold consumer — the TAGE branch predictor
+// and, when it folds history, the value prediction infrastructure —
+// register its (histLen, width) pairs, turning per-lookup history folds
+// into O(1) register reads. Previous registrations are dropped first
+// (reusing the register allocations), so a pooled processor recycled
+// across configurations carries exactly the current consumers' registers
+// and every Push pays for those alone.
+func (p *Processor) initHistoryFolds() {
+	if p.cfg.DisableIncrementalFolds {
+		p.hist.DisableFolds()
+		return
+	}
+	p.hist.EnableFolds()
+	p.hist.ClearFolds()
+	p.tage.RegisterFolds(&p.hist)
+	if fr, ok := p.cfg.VP.(interface{ RegisterFolds(*branch.History) }); ok {
+		fr.RegisterFolds(&p.hist)
+	}
 }
 
 // Reset rearms the processor for a fresh run of cfg over stream, reusing
@@ -163,7 +214,9 @@ func (p *Processor) Reset(cfg Config, stream isa.Stream) {
 	p.stream = stream
 	p.now = 0
 	p.seqCtr = 1
-	p.hist = branch.History{}
+	p.execEvents = 1
+	p.hist.Reset()
+	p.initHistoryFolds()
 	p.streamDone = false
 	p.fetchStallUntil = 0
 	p.pendingRedirectSeq = 0
@@ -184,11 +237,14 @@ func (p *Processor) Reset(cfg Config, stream isa.Stream) {
 	p.divBusyUntil, p.fpDivBusyUntil = 0, 0
 	p.issuedStores = p.issuedStores[:0]
 	p.squashScratch = p.squashScratch[:0]
+	p.fwdStore = nil
+	p.iqSkipUntil, p.iqSkipEvents = 0, 0
 	p.stats = Stats{}
 	p.warmed = false
 	p.warmStats = Stats{}
 	p.warmCycles = 0
 	p.warmL1D, p.warmL2 = 0, 0
+	p.warmL1DMerge, p.warmL2Merge = 0, 0
 }
 
 // Release drops the finished job's stream and value predictor references
@@ -237,6 +293,8 @@ func (p *Processor) markWarm() {
 	p.warmCycles = p.now
 	p.warmL1D = p.mem.L1D.Misses
 	p.warmL2 = p.mem.L2.Misses
+	p.warmL1DMerge = p.mem.L1D.MSHRMerges
+	p.warmL2Merge = p.mem.L2.MSHRMerges
 	if p.cfg.VP != nil {
 		p.cfg.VP.ResetStats()
 	}
@@ -264,10 +322,12 @@ func (p *Processor) result() Result {
 		}
 	}
 	r := Result{
-		Config:    p.cfg.Name,
-		Stats:     stats,
-		L1DMisses: p.mem.L1D.Misses - p.warmL1D,
-		L2Misses:  p.mem.L2.Misses - p.warmL2,
+		Config:        p.cfg.Name,
+		Stats:         stats,
+		L1DMisses:     p.mem.L1D.Misses - p.warmL1D,
+		L2Misses:      p.mem.L2.Misses - p.warmL2,
+		L1DMSHRMerges: p.mem.L1D.MSHRMerges - p.warmL1DMerge,
+		L2MSHRMerges:  p.mem.L2.MSHRMerges - p.warmL2Merge,
 	}
 	if r.Cycles > 0 {
 		r.IPC = float64(r.Insts) / float64(r.Cycles)
@@ -315,8 +375,61 @@ func (p *Processor) valueAvailable(seq uint64) bool {
 }
 
 // ready reports whether all of u's register dependences are satisfied.
+// The fast paths — both operands memoized available, or the µ-op asleep
+// until a known wake cycle — stay inlinable in the issue sweep;
+// everything else drops to the ring walk in readySlow.
 func (p *Processor) ready(u *UOp) bool {
-	return p.valueAvailable(u.dep[0]) && p.valueAvailable(u.dep[1])
+	if u.depReadyMask == 3 {
+		return true
+	}
+	if p.now < u.depSleepUntil {
+		return false
+	}
+	return p.readySlow(u)
+}
+
+// readySlow is valueAvailable over both operands, with memoization: a
+// satisfied operand is never re-checked (depReadyMask); an operand
+// waiting on an executed producer puts the µ-op to sleep until the
+// producer's frozen completion cycle (depSleepUntil); an operand whose
+// producer has not executed stalls the µ-op until the next pipeline
+// event (depStallEvents) — only an event can change that answer. All
+// three caches track monotone state, so the result is bit-identical to
+// re-deriving availability from the inflight ring on every call.
+// ready() guarantees depSleepUntil <= now on entry, which is why the
+// not-executed case can set the stall marker unconditionally.
+func (p *Processor) readySlow(u *UOp) bool {
+	if u.depStallEvents == p.execEvents {
+		return false
+	}
+	for i := 0; i < 2; i++ {
+		if u.depReadyMask&(1<<i) != 0 {
+			continue
+		}
+		seq := u.dep[i]
+		if seq != 0 {
+			prod := p.lookup(seq)
+			if prod != nil {
+				if prod.PredConfident && prod.Dispatched {
+					// Confident prediction written to the PRF at dispatch.
+				} else if prod.Executed {
+					if p.now < prod.DoneAt {
+						if prod.DoneAt > u.depSleepUntil {
+							u.depSleepUntil = prod.DoneAt
+						}
+						return false
+					}
+				} else {
+					u.depStallEvents = p.execEvents
+					return false
+				}
+			}
+			// prod == nil: committed (or squashed: then u is being
+			// squashed too).
+		}
+		u.depReadyMask |= 1 << i
+	}
+	return true
 }
 
 func classLatency(c isa.Class) int64 {

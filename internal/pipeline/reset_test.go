@@ -80,3 +80,22 @@ func TestHotLoopAllocationFree(t *testing.T) {
 		t.Fatalf("hot loop allocates: %.0f allocs for 30k insts", allocs)
 	}
 }
+
+// TestResetDropsStaleFoldRegisters: a pooled processor recycled from a
+// VP configuration to a VP-less one must not keep paying Push cost for
+// the value predictor's folded-history registers.
+func TestResetDropsStaleFoldRegisters(t *testing.T) {
+	prof, _ := workload.ProfileByName("gcc")
+	p := New(DefaultConfig().WithVP(NewInstVP(predictor.NewDVTAGEInst(predictor.DefaultDVTAGEConfig()))), workload.New(prof, 2000))
+	withVP := p.hist.FoldRegisters()
+	p.Run(0)
+	p.Reset(DefaultConfig(), workload.New(prof, 2000))
+	baseOnly := p.hist.FoldRegisters()
+	if baseOnly >= withVP {
+		t.Fatalf("Reset kept stale VP fold registers: %d with VP, %d after reset to baseline", withVP, baseOnly)
+	}
+	fresh := New(DefaultConfig(), workload.New(prof, 2000)).hist.FoldRegisters()
+	if baseOnly != fresh {
+		t.Fatalf("reset processor has %d fold registers, fresh baseline has %d", baseOnly, fresh)
+	}
+}

@@ -6,47 +6,47 @@ import (
 	"bebop/internal/predictor"
 )
 
-// UOp is one in-flight µ-op. Fields up to PrevValue come from the trace;
-// the rest is pipeline and value prediction state.
+// UOp is one in-flight µ-op. Field order is part of the hot-path data
+// layout: the issue sweep and the wakeup/commit head checks touch Seq,
+// the dependence/wakeup state, Class, DoneAt and the status flags every
+// cycle, so those live together at the front of the struct (one cache
+// line); per-instruction predictor metadata (Outcome, ~the size of a
+// cache line by itself) sits at the cold tail.
 type UOp struct {
 	// Seq is the µ-op's sequence number, assigned at (re)fetch; it orders
 	// everything in the machine. Refetched µ-ops receive fresh numbers.
 	Seq uint64
-	// PC is the parent instruction's address, Boundary its byte offset in
-	// the fetch block, BlockPC the block address, UopIdx the µ-op's index
-	// within the instruction.
-	PC       uint64
-	BlockPC  uint64
-	Boundary uint8
-	UopIdx   int8
-
-	Dest  isa.Reg
-	Src   [2]isa.Reg
-	Class isa.Class
-	// Value is the architectural result (trace oracle), Addr the memory
-	// address for loads/stores.
-	Value uint64
-	Addr  uint64
-
-	IsLoadImm bool
-	Eligible  bool
-	// PrevValue/HasPrev: oracle for the idealistic speculative window.
-	PrevValue uint64
-	HasPrev   bool
-
-	// IsBranch marks the resolving µ-op of a branch instruction;
-	// BrMispredicted is set at fetch when the front end went wrong.
-	IsBranch       bool
-	BrMispredicted bool
-
 	// dep[i] is the sequence number of the producer of Src[i]; 0 = ready.
 	dep [2]uint64
+	// depSleepUntil is a lower bound on the cycle this µ-op's operands
+	// can all be available, learned when a producer was found executed
+	// with a future DoneAt. An executed µ-op's DoneAt is frozen and it
+	// cannot commit before DoneAt+1, so until that cycle the wakeup
+	// check is a single compare instead of an inflight-ring walk — this
+	// is what keeps a memory-bound instruction queue (60 loads parked on
+	// DRAM fills) from re-walking the ring 60 times per cycle.
+	depSleepUntil int64
+	// depStallEvents records Processor.execEvents at the last readiness
+	// check that failed on a producer with no known completion cycle (not
+	// yet executed). Such an operand can only become available through a
+	// dispatch/execute/commit event, so until the event counter moves the
+	// whole re-check is skipped. Time-bounded failures never set this —
+	// they wake through depSleepUntil.
+	depStallEvents uint64
+	// DoneAt is the cycle the result is available once Executed.
+	DoneAt int64
 
-	// Timing state.
-	FetchedAt  int64
-	DispatchAt int64
-	IssuedAt   int64
-	DoneAt     int64
+	Class isa.Class
+	// depReadyMask memoizes true valueAvailable(dep[i]) answers (bit i
+	// set = operand i known available, 3 = fully ready). Availability is
+	// monotone for a live µ-op — producers only ever commit, finish
+	// executing, or squash (and a squashed producer takes this younger
+	// µ-op with it) — so the wakeup scan re-checks only still-missing
+	// operands instead of walking the inflight ring for both on every
+	// cycle.
+	depReadyMask uint8
+
+	// Status flags.
 	Dispatched bool
 	InIQ       bool
 	Issued     bool
@@ -56,27 +56,63 @@ type UOp struct {
 	Committed  bool
 	Squashed   bool
 
+	// PredConfident: confidence saturated (the prediction was used and
+	// written to the PRF); checked in the wakeup path.
+	PredConfident bool
+
+	// Boundary is the instruction's byte offset in the fetch block,
+	// UopIdx the µ-op's index within the instruction.
+	Boundary uint8
+	UopIdx   int8
+	VPSlot   int8
+
+	IsLoadImm bool
+	Eligible  bool
+	HasPrev   bool
+	// IsBranch marks the resolving µ-op of a branch instruction;
+	// BrMispredicted is set at fetch when the front end went wrong.
+	IsBranch       bool
+	BrMispredicted bool
+	// Predicted reports that a prediction was attributed to this µ-op.
+	Predicted bool
+
+	Dest isa.Reg
+	Src  [2]isa.Reg
+
+	inst *dynInst
+
+	// PC is the parent instruction's address, BlockPC the block address.
+	PC      uint64
+	BlockPC uint64
+	// Value is the architectural result (trace oracle), Addr the memory
+	// address for loads/stores, PrevValue/HasPrev the oracle for the
+	// idealistic speculative window.
+	Value     uint64
+	Addr      uint64
+	PrevValue uint64
+	// PredValue is the predicted value.
+	PredValue uint64
+
+	// Timing state.
+	FetchedAt  int64
+	DispatchAt int64
+	IssuedAt   int64
+
 	// Memory dependence state.
 	StoreDepSeq uint64 // store-set predicted producer store, 0 = none
 
-	// Value prediction state.
-	Predicted     bool   // a prediction was attributed to this µ-op
-	PredValue     uint64 // the predicted value
-	PredConfident bool   // confidence saturated: the prediction was used
-	// Outcome carries per-instruction predictor metadata (Section VI-A
-	// operation); block-based operation uses VPRec/VPSlot instead.
-	Outcome predictor.Outcome
 	// VPRec points at the in-flight block prediction record owning this
 	// µ-op's slot; VPSlot is the slot index (-1 = unattributed). VPGen is
 	// the record's generation counter at attribution time: the record is
 	// pooled, so a holder must treat a generation mismatch as a dangling
 	// reference (the record was freed and possibly recycled for another
 	// block) and ignore it.
-	VPRec  any
-	VPGen  uint64
-	VPSlot int8
+	VPRec any
+	VPGen uint64
 
-	inst *dynInst
+	// Outcome carries per-instruction predictor metadata (Section VI-A
+	// operation); block-based operation uses VPRec/VPSlot instead.
+	Outcome predictor.Outcome
 }
 
 // dynInst groups the µ-ops of one dynamic instruction so squashed
@@ -99,6 +135,29 @@ type dynInst struct {
 	committed  int // µ-ops committed so far
 
 	pooled bool
+}
+
+// reset clears the per-activation state for reuse. Fields that
+// activateInst assigns unconditionally right after (Seq, PC, BlockPC,
+// Boundary, UopIdx, Dest, Src, Class, Value, Addr, IsLoadImm, Eligible,
+// PrevValue, HasPrev, VPSlot, FetchedAt, IsBranch, inst) are skipped, as
+// is Outcome: its only consumer (InstVP) fully overwrites it at fetch
+// before any read. Zeroing just what needs it keeps the ~300-byte struct
+// off the per-µ-op refetch path.
+func (u *UOp) reset() {
+	u.dep = [2]uint64{}
+	u.depSleepUntil = 0
+	u.depStallEvents = 0
+	u.DoneAt = 0
+	u.depReadyMask = 0
+	u.Dispatched, u.InIQ, u.Issued, u.Executed = false, false, false, false
+	u.EarlyExec, u.LateExec, u.Committed, u.Squashed = false, false, false, false
+	u.PredConfident, u.BrMispredicted, u.Predicted = false, false, false
+	u.DispatchAt, u.IssuedAt = 0, 0
+	u.StoreDepSeq = 0
+	u.VPRec = nil
+	u.VPGen = 0
+	u.PredValue = 0
 }
 
 // SrcCount returns the number of valid sources.

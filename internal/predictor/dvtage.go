@@ -86,45 +86,54 @@ func (cfg DVTAGEConfig) StorageBits() int {
 // predictor split into a Last Value Table and a stride/confidence table
 // (VT0). Predictions are formed as lastValue + selectedStride where the
 // stride comes from the longest matching tagged component, VTAGE-style.
+//
+// All tables are stored struct-of-arrays and sized to the configured
+// NPred (not MaxNPred): the per-block lookup touches one tag/valid lane
+// per component plus exactly NPred slots of the providing entry, so the
+// dense layout keeps a block access on a handful of cache lines — the
+// simulator-side analogue of BeBoP's one-read-per-block organization.
+// Per-entry slot state lives at entry*NPred in the slot-major slices.
 type DVTAGE struct {
-	cfg   DVTAGEConfig
-	lvt   []dvtLVTEntry
-	vt0   []dvtVT0Entry
+	cfg DVTAGEConfig
+
+	// LVT: block tag/valid lanes plus NPred last values and byte-index
+	// tags per entry (Section II-B1).
+	lvtValid []bool
+	lvtTags  []uint16
+	lvtVals  []uint64
+	lvtHas   []bool
+	lvtBtag  []uint8
+
+	// VT0: NPred strides and confidence counters per base entry.
+	vt0Strides []int64
+	vt0Conf    []uint8
+
 	comps []dvtComp
-	fpc   *FPC
-	rng   *util.RNG
-	tick  int
+
+	// idxBits is log2(TaggedEntries), shared by every tagged component;
+	// the path fold depends only on it, so Lookup computes it once.
+	idxBits int
+
+	fpc  *FPC
+	rng  *util.RNG
+	tick int
 
 	// strideOverflows counts strides that did not fit StrideBits, the
 	// coverage loss mechanism of partial strides.
 	StrideOverflows uint64
 }
 
-type dvtLVTEntry struct {
-	valid bool
-	tag   uint16
-	vals  [MaxNPred]uint64
-	has   [MaxNPred]bool  // slot holds a trained last value
-	btags [MaxNPred]uint8 // byte-index tags (Section II-B1)
-}
-
-type dvtVT0Entry struct {
-	strides [MaxNPred]int64
-	conf    [MaxNPred]uint8
-}
-
+// dvtComp is one tagged component, struct-of-arrays: tags[i]/useful[i]
+// describe entry i, strides/conf hold its NPred slots at i*NPred.
 type dvtComp struct {
-	entries []dvtTaggedEntry
+	tags    []uint32
+	useful  []bool
+	strides []int64
+	conf    []uint8
+	mask    uint64 // TaggedEntries-1 (power of two)
 	histLen int
 	tagBits int
 	idxBits int
-}
-
-type dvtTaggedEntry struct {
-	tag     uint32
-	strides [MaxNPred]int64
-	conf    [MaxNPred]uint8
-	useful  bool
 }
 
 // NewDVTAGE builds a D-VTAGE predictor.
@@ -139,19 +148,28 @@ func NewDVTAGE(cfg DVTAGEConfig) *DVTAGE {
 		panic("predictor: D-VTAGE needs one history length per component")
 	}
 	d := &DVTAGE{
-		cfg: cfg,
-		lvt: make([]dvtLVTEntry, cfg.BaseEntries),
-		vt0: make([]dvtVT0Entry, cfg.BaseEntries),
-		fpc: NewFPC(cfg.FPCProbs, cfg.Seed),
-		rng: util.NewRNG(cfg.Seed ^ 0xA110C),
+		cfg:        cfg,
+		lvtValid:   make([]bool, cfg.BaseEntries),
+		lvtTags:    make([]uint16, cfg.BaseEntries),
+		lvtVals:    make([]uint64, cfg.BaseEntries*cfg.NPred),
+		lvtHas:     make([]bool, cfg.BaseEntries*cfg.NPred),
+		lvtBtag:    make([]uint8, cfg.BaseEntries*cfg.NPred),
+		vt0Strides: make([]int64, cfg.BaseEntries*cfg.NPred),
+		vt0Conf:    make([]uint8, cfg.BaseEntries*cfg.NPred),
+		idxBits:    util.Log2(cfg.TaggedEntries),
+		fpc:        NewFPC(cfg.FPCProbs, cfg.Seed),
+		rng:        util.NewRNG(cfg.Seed ^ 0xA110C),
 	}
-	idxBits := util.Log2(cfg.TaggedEntries)
 	for i := 0; i < cfg.NumComps; i++ {
 		d.comps = append(d.comps, dvtComp{
-			entries: make([]dvtTaggedEntry, cfg.TaggedEntries),
+			tags:    make([]uint32, cfg.TaggedEntries),
+			useful:  make([]bool, cfg.TaggedEntries),
+			strides: make([]int64, cfg.TaggedEntries*cfg.NPred),
+			conf:    make([]uint8, cfg.TaggedEntries*cfg.NPred),
+			mask:    uint64(cfg.TaggedEntries - 1),
 			histLen: cfg.HistLens[i],
 			tagBits: cfg.TagBitsLo + i,
-			idxBits: idxBits,
+			idxBits: d.idxBits,
 		})
 	}
 	return d
@@ -168,6 +186,19 @@ func (d *DVTAGE) Name() string { return "D-VTAGE" }
 
 // StorageBits returns the storage budget in bits.
 func (d *DVTAGE) StorageBits() int { return d.cfg.StorageBits() }
+
+// RegisterFolds declares every (histLen, width) fold the tagged
+// components perform with the history's incremental folded-register
+// file, so block lookups read O(1) registers instead of re-folding the
+// global history per component.
+func (d *DVTAGE) RegisterFolds(h *branch.History) {
+	for i := range d.comps {
+		c := &d.comps[i]
+		h.RegisterFold(c.histLen, c.idxBits)
+		h.RegisterFold(c.histLen, c.tagBits)
+		h.RegisterFold(c.histLen, c.tagBits-1)
+	}
+}
 
 // BlockLookup is the result of reading all D-VTAGE components for one
 // fetch block, before last values are (possibly) overridden by the
@@ -200,53 +231,52 @@ type BlockLookup struct {
 
 func (d *DVTAGE) lvtIndex(blockPC uint64) (int32, uint16) {
 	h := util.Mix64(blockPC)
-	idx := int32(h & uint64(len(d.lvt)-1))
+	idx := int32(h & uint64(len(d.lvtTags)-1))
 	tag := uint16((h >> 48) & ((1 << d.cfg.LVTTagBits) - 1))
 	return idx, tag
-}
-
-func (c *dvtComp) index(blockPC uint64, h *branch.History) int32 {
-	folded := h.Fold(c.histLen, c.idxBits)
-	pathFold := util.FoldBits(h.Path(), 16, c.idxBits)
-	return int32((util.Mix64(blockPC) ^ folded ^ pathFold<<1) & uint64(len(c.entries)-1))
-}
-
-func (c *dvtComp) tagOf(blockPC uint64, h *branch.History) uint32 {
-	f1 := h.Fold(c.histLen, c.tagBits)
-	f2 := h.Fold(c.histLen, c.tagBits-1)
-	return uint32((util.Mix64(blockPC^0x9E37) ^ f1 ^ f2<<1) & ((uint64(1) << c.tagBits) - 1))
 }
 
 // Lookup reads the LVT, VT0 and all tagged components for blockPC under
 // the given history. All components are accessed in parallel in hardware;
 // the returned BlockLookup contains everything needed to form predictions
-// and to train at retire time.
+// and to train at retire time. The block PC is hashed once (for indexes
+// and for tags) and shared across every component derivation, as is the
+// path fold.
 func (d *DVTAGE) Lookup(blockPC uint64, hist *branch.History) BlockLookup {
 	var bl BlockLookup
 	bl.Provider = -1
-	bl.lvtIdx, bl.lvtTag = d.lvtIndex(blockPC)
+	np := d.cfg.NPred
 
-	lvt := &d.lvt[bl.lvtIdx]
-	if lvt.valid && lvt.tag == bl.lvtTag {
+	idxHash := util.Mix64(blockPC)
+	tagHash := util.Mix64(blockPC ^ 0x9E37)
+	li := int(idxHash & uint64(len(d.lvtTags)-1))
+	bl.lvtIdx = int32(li)
+	bl.lvtTag = uint16((idxHash >> 48) & ((1 << d.cfg.LVTTagBits) - 1))
+
+	if d.lvtValid[li] && d.lvtTags[li] == bl.lvtTag {
 		bl.LVTHit = true
-		for m := 0; m < d.cfg.NPred; m++ {
-			bl.Last[m] = lvt.vals[m]
-			bl.HasLast[m] = lvt.has[m]
-			bl.ByteTags[m] = lvt.btags[m]
+		base := li * np
+		for m := 0; m < np; m++ {
+			bl.Last[m] = d.lvtVals[base+m]
+			bl.HasLast[m] = d.lvtHas[base+m]
+			bl.ByteTags[m] = d.lvtBtag[base+m]
 		}
 	}
 
+	pathFold := util.FoldBits(hist.Path(), 16, d.idxBits)
 	for i := range d.comps {
 		c := &d.comps[i]
-		bl.indices[i] = c.index(blockPC, hist)
-		bl.tags[i] = c.tagOf(blockPC, hist)
+		folded := hist.Fold(c.histLen, c.idxBits)
+		bl.indices[i] = int32((idxHash ^ folded ^ pathFold<<1) & c.mask)
+		f1 := hist.Fold(c.histLen, c.tagBits)
+		f2 := hist.Fold(c.histLen, c.tagBits-1)
+		bl.tags[i] = uint32((tagHash ^ f1 ^ f2<<1) & ((uint64(1) << c.tagBits) - 1))
 	}
 	// Longest matching tagged component provides the strides; the next
 	// hit (or VT0) is the alternate used for usefulness.
 	alt := -2
 	for i := len(d.comps) - 1; i >= 0; i-- {
-		e := &d.comps[i].entries[bl.indices[i]]
-		if e.tag == bl.tags[i] {
+		if d.comps[i].tags[bl.indices[i]] == bl.tags[i] {
 			if bl.Provider == -1 && alt == -2 {
 				bl.Provider = int8(i)
 			} else {
@@ -255,28 +285,30 @@ func (d *DVTAGE) Lookup(blockPC uint64, hist *branch.History) BlockLookup {
 			}
 		}
 	}
-	vt0 := &d.vt0[bl.lvtIdx]
+	vt0Base := li * np
 	if bl.Provider >= 0 {
-		e := &d.comps[bl.Provider].entries[bl.indices[bl.Provider]]
-		for m := 0; m < d.cfg.NPred; m++ {
-			bl.Strides[m] = e.strides[m]
-			bl.Conf[m] = e.conf[m]
+		c := &d.comps[bl.Provider]
+		base := int(bl.indices[bl.Provider]) * np
+		for m := 0; m < np; m++ {
+			bl.Strides[m] = c.strides[base+m]
+			bl.Conf[m] = c.conf[base+m]
 		}
 		bl.altHas = true
 		if alt >= 0 {
-			ae := &d.comps[alt].entries[bl.indices[alt]]
-			for m := 0; m < d.cfg.NPred; m++ {
-				bl.altStrides[m] = ae.strides[m]
+			ac := &d.comps[alt]
+			abase := int(bl.indices[alt]) * np
+			for m := 0; m < np; m++ {
+				bl.altStrides[m] = ac.strides[abase+m]
 			}
 		} else {
-			for m := 0; m < d.cfg.NPred; m++ {
-				bl.altStrides[m] = vt0.strides[m]
+			for m := 0; m < np; m++ {
+				bl.altStrides[m] = d.vt0Strides[vt0Base+m]
 			}
 		}
 	} else {
-		for m := 0; m < d.cfg.NPred; m++ {
-			bl.Strides[m] = vt0.strides[m]
-			bl.Conf[m] = vt0.conf[m]
+		for m := 0; m < np; m++ {
+			bl.Strides[m] = d.vt0Strides[vt0Base+m]
+			bl.Conf[m] = d.vt0Conf[vt0Base+m]
 		}
 	}
 	return bl
@@ -323,10 +355,11 @@ type UpdateBlock struct {
 // entry; the usefulness bit is kept per block.
 func (d *DVTAGE) Update(u *UpdateBlock) {
 	bl := &u.Lookup
-	lvt := &d.lvt[bl.lvtIdx]
-	vt0 := &d.vt0[bl.lvtIdx]
+	np := d.cfg.NPred
+	li := int(bl.lvtIdx)
+	lvtBase := li * np
 
-	lvtMatched := lvt.valid && lvt.tag == bl.lvtTag
+	lvtMatched := d.lvtValid[li] && d.lvtTags[li] == bl.lvtTag
 
 	// Compute per-slot training strides before overwriting the LVT:
 	// newStride = retired value - previous retired value of the slot.
@@ -335,13 +368,13 @@ func (d *DVTAGE) Update(u *UpdateBlock) {
 	anyWrong := false
 	anyCorrect := false
 	anyUseful := false
-	for m := 0; m < d.cfg.NPred; m++ {
+	for m := 0; m < np; m++ {
 		s := &u.Slots[m]
 		if !s.Used {
 			continue
 		}
-		if lvtMatched && lvt.has[m] {
-			newStride[m] = int64(s.Actual - lvt.vals[m])
+		if lvtMatched && d.lvtHas[lvtBase+m] {
+			newStride[m] = int64(s.Actual - d.lvtVals[lvtBase+m])
 			haveStride[m] = true
 		}
 		if s.WasPredicted {
@@ -364,15 +397,18 @@ func (d *DVTAGE) Update(u *UpdateBlock) {
 	}
 
 	// Train the providing component's confidence and strides.
-	var provStrides *[MaxNPred]int64
-	var provConf *[MaxNPred]uint8
+	var provStrides []int64
+	var provConf []uint8
 	if bl.Provider >= 0 {
-		e := &d.comps[bl.Provider].entries[bl.indices[bl.Provider]]
-		provStrides, provConf = &e.strides, &e.conf
+		c := &d.comps[bl.Provider]
+		base := int(bl.indices[bl.Provider]) * np
+		provStrides = c.strides[base : base+np]
+		provConf = c.conf[base : base+np]
 	} else {
-		provStrides, provConf = &vt0.strides, &vt0.conf
+		provStrides = d.vt0Strides[lvtBase : lvtBase+np]
+		provConf = d.vt0Conf[lvtBase : lvtBase+np]
 	}
-	for m := 0; m < d.cfg.NPred; m++ {
+	for m := 0; m < np; m++ {
 		s := &u.Slots[m]
 		if !s.Used {
 			continue
@@ -395,11 +431,12 @@ func (d *DVTAGE) Update(u *UpdateBlock) {
 
 	// Usefulness bit, kept per block for tagged providers.
 	if bl.Provider >= 0 {
-		e := &d.comps[bl.Provider].entries[bl.indices[bl.Provider]]
+		c := &d.comps[bl.Provider]
+		idx := int(bl.indices[bl.Provider])
 		if anyUseful {
-			e.useful = true
+			c.useful[idx] = true
 		} else if anyWrong && !anyCorrect {
-			e.useful = false
+			c.useful[idx] = false
 		}
 	}
 
@@ -412,26 +449,33 @@ func (d *DVTAGE) Update(u *UpdateBlock) {
 	// rule ("a greater tag never replaces a lesser tag", Section II-B1);
 	// the constraint does not apply when the entry is (re)allocated.
 	if !lvtMatched {
-		*lvt = dvtLVTEntry{valid: true, tag: bl.lvtTag}
-		// Fresh VT0 state for a new block mapping.
-		*vt0 = dvtVT0Entry{}
+		d.lvtValid[li] = true
+		d.lvtTags[li] = bl.lvtTag
+		for m := 0; m < np; m++ {
+			d.lvtVals[lvtBase+m] = 0
+			d.lvtHas[lvtBase+m] = false
+			d.lvtBtag[lvtBase+m] = 0
+			// Fresh VT0 state for a new block mapping.
+			d.vt0Strides[lvtBase+m] = 0
+			d.vt0Conf[lvtBase+m] = 0
+		}
 	}
-	for m := 0; m < d.cfg.NPred; m++ {
+	for m := 0; m < np; m++ {
 		s := &u.Slots[m]
 		if !s.Used {
 			continue
 		}
-		if lvtMatched && lvt.has[m] && s.ByteTag > lvt.btags[m] {
+		if lvtMatched && d.lvtHas[lvtBase+m] && s.ByteTag > d.lvtBtag[lvtBase+m] {
 			// Monotone rule: keep the lesser stored tag; the value still
 			// tracks the slot's owning instruction, so only update the
 			// value if the tags agree.
-			if s.ByteTag != lvt.btags[m] {
+			if s.ByteTag != d.lvtBtag[lvtBase+m] {
 				continue
 			}
 		}
-		lvt.vals[m] = s.Actual
-		lvt.btags[m] = s.ByteTag
-		lvt.has[m] = true
+		d.lvtVals[lvtBase+m] = s.Actual
+		d.lvtBtag[lvtBase+m] = s.ByteTag
+		d.lvtHas[lvtBase+m] = true
 	}
 
 	// Periodic graceful usefulness reset.
@@ -439,25 +483,27 @@ func (d *DVTAGE) Update(u *UpdateBlock) {
 	if d.tick >= 1<<18 {
 		d.tick = 0
 		for i := range d.comps {
-			for j := range d.comps[i].entries {
-				d.comps[i].entries[j].useful = false
+			u := d.comps[i].useful
+			for j := range u {
+				u[j] = false
 			}
 		}
 	}
 }
 
-func (d *DVTAGE) allocate(u *UpdateBlock, newStride *[MaxNPred]int64, haveStride *[MaxNPred]bool, provStrides *[MaxNPred]int64, provConf *[MaxNPred]uint8) {
+func (d *DVTAGE) allocate(u *UpdateBlock, newStride *[MaxNPred]int64, haveStride *[MaxNPred]bool, provStrides []int64, provConf []uint8) {
 	bl := &u.Lookup
+	np := d.cfg.NPred
 	start := int(bl.Provider) + 1
 	free := 0
 	for i := start; i < len(d.comps); i++ {
-		if !d.comps[i].entries[bl.indices[i]].useful {
+		if !d.comps[i].useful[bl.indices[i]] {
 			free++
 		}
 	}
 	if free == 0 {
 		for i := start; i < len(d.comps); i++ {
-			d.comps[i].entries[bl.indices[i]].useful = false
+			d.comps[i].useful[bl.indices[i]] = false
 		}
 		return
 	}
@@ -466,35 +512,40 @@ func (d *DVTAGE) allocate(u *UpdateBlock, newStride *[MaxNPred]int64, haveStride
 		pick = 0
 	}
 	for i := start; i < len(d.comps); i++ {
-		e := &d.comps[i].entries[bl.indices[i]]
-		if e.useful {
+		c := &d.comps[i]
+		idx := int(bl.indices[i])
+		if c.useful[idx] {
 			continue
 		}
 		if pick > 0 {
 			pick--
 			continue
 		}
-		ne := dvtTaggedEntry{tag: bl.tags[i]}
-		for m := 0; m < d.cfg.NPred; m++ {
+		base := idx * np
+		c.tags[idx] = bl.tags[i]
+		for m := 0; m < np; m++ {
 			s := &u.Slots[m]
 			correct := s.Used && s.WasPredicted && s.Predicted == s.Actual
-			if correct {
+			switch {
+			case correct:
 				// Confidence propagation: duplicate high-confidence
 				// predictions into the new entry to preserve coverage.
-				ne.strides[m] = provStrides[m]
-				ne.conf[m] = provConf[m]
-			} else if s.Used && haveStride[m] {
+				c.strides[base+m] = provStrides[m]
+				c.conf[base+m] = provConf[m]
+			case s.Used && haveStride[m]:
+				c.conf[base+m] = 0
 				if st, ok := util.TruncateSigned(newStride[m], d.cfg.StrideBits); ok {
-					ne.strides[m] = st
+					c.strides[base+m] = st
 				} else {
 					d.StrideOverflows++
+					c.strides[base+m] = 0
 				}
-			} else {
+			default:
 				// Keep the provider's stride as a best guess.
-				ne.strides[m] = provStrides[m]
+				c.strides[base+m] = provStrides[m]
+				c.conf[base+m] = 0
 			}
 		}
-		*e = ne
 		return
 	}
 }

@@ -37,28 +37,29 @@ func DefaultVTAGEConfig() VTAGEConfig {
 // VTAGE is the per-instruction VTAGE value predictor: a direct application
 // of the TAGE branch predictor to value prediction. The base component is a
 // tagless last value predictor; each tagged component is a gshare-like
-// value table using a different global history length.
+// value table using a different global history length. Components are
+// stored struct-of-arrays (tag, value, confidence and usefulness lanes),
+// so the provider scan touches dense tag lanes instead of striding over
+// 16-byte entries.
 type VTAGE struct {
-	cfg   VTAGEConfig
-	base  []lvEntry
-	comps []vtageComp
-	fpc   *FPC
-	rng   *util.RNG
-	tick  int
+	cfg     VTAGEConfig
+	base    []lvEntry
+	comps   []vtageComp
+	idxBits int // log2(CompEntries), shared by every component
+	fpc     *FPC
+	rng     *util.RNG
+	tick    int
 }
 
 type vtageComp struct {
-	entries []vtageEntry
+	values  []uint64
+	tags    []uint32
+	conf    []uint8
+	useful  []bool
+	mask    uint64 // CompEntries-1 (power of two)
 	histLen int
 	tagBits int
 	idxBits int
-}
-
-type vtageEntry struct {
-	value  uint64
-	tag    uint32
-	conf   uint8
-	useful bool
 }
 
 // NewVTAGE builds a VTAGE predictor.
@@ -70,18 +71,22 @@ func NewVTAGE(cfg VTAGEConfig) *VTAGE {
 		panic("predictor: VTAGE needs one history length per component")
 	}
 	v := &VTAGE{
-		cfg:  cfg,
-		base: make([]lvEntry, cfg.BaseEntries),
-		fpc:  NewFPC(cfg.FPCProbs, cfg.Seed),
-		rng:  util.NewRNG(cfg.Seed ^ 0xC0FFEE),
+		cfg:     cfg,
+		base:    make([]lvEntry, cfg.BaseEntries),
+		idxBits: util.Log2(cfg.CompEntries),
+		fpc:     NewFPC(cfg.FPCProbs, cfg.Seed),
+		rng:     util.NewRNG(cfg.Seed ^ 0xC0FFEE),
 	}
-	idxBits := util.Log2(cfg.CompEntries)
 	for i := 0; i < cfg.NumComps; i++ {
 		v.comps = append(v.comps, vtageComp{
-			entries: make([]vtageEntry, cfg.CompEntries),
+			values:  make([]uint64, cfg.CompEntries),
+			tags:    make([]uint32, cfg.CompEntries),
+			conf:    make([]uint8, cfg.CompEntries),
+			useful:  make([]bool, cfg.CompEntries),
+			mask:    uint64(cfg.CompEntries - 1),
 			histLen: cfg.HistLens[i],
 			tagBits: cfg.TagBitsLo + i,
-			idxBits: idxBits,
+			idxBits: v.idxBits,
 		})
 	}
 	return v
@@ -89,44 +94,52 @@ func NewVTAGE(cfg VTAGEConfig) *VTAGE {
 
 func (v *VTAGE) Name() string { return "VTAGE" }
 
-func (c *vtageComp) index(key uint64, h *branch.History) int32 {
-	folded := h.Fold(c.histLen, c.idxBits)
-	pathFold := util.FoldBits(h.Path(), 16, c.idxBits)
-	return int32((util.Mix64(key) ^ folded ^ pathFold<<1) & uint64(len(c.entries)-1))
-}
-
-func (c *vtageComp) tagOf(key uint64, h *branch.History) uint32 {
-	f1 := h.Fold(c.histLen, c.tagBits)
-	f2 := h.Fold(c.histLen, c.tagBits-1)
-	return uint32((util.Mix64(key^0x9E37) ^ f1 ^ f2<<1) & ((uint64(1) << c.tagBits) - 1))
+// RegisterFolds declares every (histLen, width) fold the tagged
+// components perform with the history's incremental folded-register file.
+func (v *VTAGE) RegisterFolds(h *branch.History) {
+	for i := range v.comps {
+		c := &v.comps[i]
+		h.RegisterFold(c.histLen, c.idxBits)
+		h.RegisterFold(c.histLen, c.tagBits)
+		h.RegisterFold(c.histLen, c.tagBits-1)
+	}
 }
 
 // Predict implements Predictor. VTAGE ignores the speculative last value:
 // its predictions never depend on in-flight results, one of its key
-// implementation advantages (Section III-B).
+// implementation advantages (Section III-B). The instruction key is
+// hashed once (for indexes and for tags) and shared by every component,
+// as is the path fold.
 func (v *VTAGE) Predict(pc uint64, uopIdx int, hist *branch.History, _ uint64, _ bool) Outcome {
 	key := instKey(pc, uopIdx)
 	var o Outcome
 	o.provider = -1
-	o.baseIdx = int32(util.Mix64(key) & uint64(len(v.base)-1))
+	idxHash := util.Mix64(key)
+	tagHash := util.Mix64(key ^ 0x9E37)
+	o.baseIdx = int32(idxHash & uint64(len(v.base)-1))
+	pathFold := util.FoldBits(hist.Path(), 16, v.idxBits)
 	for i := range v.comps {
 		c := &v.comps[i]
-		o.indices[i] = c.index(key, hist)
-		o.tags[i] = c.tagOf(key, hist)
+		folded := hist.Fold(c.histLen, c.idxBits)
+		o.indices[i] = int32((idxHash ^ folded ^ pathFold<<1) & c.mask)
+		f1 := hist.Fold(c.histLen, c.tagBits)
+		f2 := hist.Fold(c.histLen, c.tagBits-1)
+		o.tags[i] = uint32((tagHash ^ f1 ^ f2<<1) & ((uint64(1) << c.tagBits) - 1))
 	}
 	// Longest-history hit provides; remember the next-longest as alternate
 	// for the usefulness computation.
 	for i := len(v.comps) - 1; i >= 0; i-- {
-		e := &v.comps[i].entries[o.indices[i]]
-		if e.tag == o.tags[i] {
+		c := &v.comps[i]
+		idx := o.indices[i]
+		if c.tags[idx] == o.tags[i] {
 			if o.provider == -1 {
 				o.provider = int8(i)
 				o.Predicted = true
-				o.Value = e.value
-				o.Confident = v.fpc.Saturated(e.conf)
+				o.Value = c.values[idx]
+				o.Confident = v.fpc.Saturated(c.conf[idx])
 			} else {
 				o.altPred = true
-				o.altValue = e.value
+				o.altValue = c.values[idx]
 				break
 			}
 		}
@@ -151,18 +164,19 @@ func (v *VTAGE) Predict(pc uint64, uopIdx int, hist *branch.History, _ uint64, _
 func (v *VTAGE) Update(o *Outcome, actual uint64) {
 	correct := o.Value == actual
 	if o.provider >= 0 {
-		e := &v.comps[o.provider].entries[o.indices[o.provider]]
+		c := &v.comps[o.provider]
+		idx := o.indices[o.provider]
 		if correct {
-			e.conf = v.fpc.Correct(e.conf)
+			c.conf[idx] = v.fpc.Correct(c.conf[idx])
 			// Useful iff correct and the alternate prediction differs.
 			if o.altPred && o.altValue != actual {
-				e.useful = true
+				c.useful[idx] = true
 			}
 		} else {
-			e.conf = v.fpc.Wrong(e.conf)
-			e.value = actual
+			c.conf[idx] = v.fpc.Wrong(c.conf[idx])
+			c.values[idx] = actual
 			if o.altPred && o.altValue == actual {
-				e.useful = false
+				c.useful[idx] = false
 			}
 		}
 	} else {
@@ -181,8 +195,9 @@ func (v *VTAGE) Update(o *Outcome, actual uint64) {
 	if v.tick >= 1<<18 {
 		v.tick = 0
 		for i := range v.comps {
-			for j := range v.comps[i].entries {
-				v.comps[i].entries[j].useful = false
+			u := v.comps[i].useful
+			for j := range u {
+				u[j] = false
 			}
 		}
 	}
@@ -192,14 +207,14 @@ func (v *VTAGE) allocate(o *Outcome, actual uint64) {
 	start := int(o.provider) + 1
 	free := 0
 	for i := start; i < len(v.comps); i++ {
-		if !v.comps[i].entries[o.indices[i]].useful {
+		if !v.comps[i].useful[o.indices[i]] {
 			free++
 		}
 	}
 	if free == 0 {
 		// All useful: reset them, allocate nothing (Section III-A).
 		for i := start; i < len(v.comps); i++ {
-			v.comps[i].entries[o.indices[i]].useful = false
+			v.comps[i].useful[o.indices[i]] = false
 		}
 		return
 	}
@@ -208,12 +223,16 @@ func (v *VTAGE) allocate(o *Outcome, actual uint64) {
 		pick = 0
 	}
 	for i := start; i < len(v.comps); i++ {
-		e := &v.comps[i].entries[o.indices[i]]
-		if e.useful {
+		c := &v.comps[i]
+		idx := o.indices[i]
+		if c.useful[idx] {
 			continue
 		}
 		if pick == 0 {
-			*e = vtageEntry{value: actual, tag: o.tags[i]}
+			c.values[idx] = actual
+			c.tags[idx] = o.tags[i]
+			c.conf[idx] = 0
+			c.useful[idx] = false
 			return
 		}
 		pick--
@@ -225,7 +244,7 @@ func (v *VTAGE) StorageBits() int {
 	bits := len(v.base) * (64 + v.fpc.Bits())
 	for i := range v.comps {
 		c := &v.comps[i]
-		bits += len(c.entries) * (64 + c.tagBits + v.fpc.Bits() + 1)
+		bits += len(c.values) * (64 + c.tagBits + v.fpc.Bits() + 1)
 	}
 	return bits
 }
@@ -249,6 +268,10 @@ func NewVTAGE2dStride(vcfg VTAGEConfig, strideEntries int) *VTAGE2dStride {
 }
 
 func (h *VTAGE2dStride) Name() string { return "VTAGE-2d-Stride" }
+
+// RegisterFolds forwards fold registration to the VTAGE component (the
+// stride side folds no history).
+func (h *VTAGE2dStride) RegisterFolds(hist *branch.History) { h.V.RegisterFolds(hist) }
 
 // hybridOutcome packs both component outcomes; the exported Outcome fields
 // reflect the arbitration result and the component outcomes ride along in

@@ -1,0 +1,52 @@
+// Package prof wires runtime/pprof into the command-line tools: every
+// perf-facing command (bebop-bench, bebop-sim) exposes -cpuprofile and
+// -memprofile flags through it, so a performance investigation starts
+// from a profile instead of a guess. See README "Profiling the hot loop"
+// for the workflow.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns the function
+// that stops it and closes the file. An empty path is a no-op.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap captures an allocation profile to path after a GC, so the
+// numbers reflect live steady-state memory rather than collectible
+// garbage. An empty path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ import (
 
 	"bebop/internal/perf"
 	"bebop/internal/prof"
+	"bebop/sim"
 )
 
 func main() {
@@ -31,7 +32,13 @@ func main() {
 	gate := flag.String("gate", "", "reference BENCH_pipeline.json to gate against ('' = no gate)")
 	gateRegress := flag.Float64("gate-max-regress", 0.25,
 		"with -gate: fail if geomean insts/sec regresses by more than this fraction")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(sim.Version())
+		return
+	}
 
 	// Read the gate reference BEFORE measuring (fail fast on a missing
 	// file) and before (possibly) overwriting it: the documented

@@ -1,29 +1,35 @@
-// Command bebop-serve exposes the experiment suite as an HTTP service, so
-// configuration sweeps can be driven remotely and share one warm result
-// cache across requests: the first request for an experiment simulates,
-// later requests (and other experiments reusing the same baselines) hit
-// the engine's sharded cache.
+// Command bebop-serve exposes the simulator as a versioned REST service
+// over the bebop/sim SDK: single runs are described by a declarative
+// RunSpec (the same JSON `bebop-sim -spec` consumes), experiment sweeps
+// share one warm result cache across requests, and every simulation runs
+// under its request's context — a disconnected client cancels the work
+// instead of burning a worker.
 //
 // Usage:
 //
-//	bebop-serve -addr :8080 -n 100000 -p 8
+//	bebop-serve -addr :8080 -n 100000 -max-insts 2000000 -run-timeout 60s
 //
-// Endpoints:
+// v1 API:
 //
-//	GET /healthz                 liveness + engine statistics
-//	GET /experiments             the available experiment ids
-//	GET /run?exp=fig8            run one experiment (JSON by default)
-//	GET /run?exp=all&format=csv  every experiment, as CSV
-//	GET /run?exp=fig7b&w=swim,applu  restrict to a workload subset
+//	GET  /healthz               liveness, version, engine statistics, limits
+//	GET  /v1/experiments        experiment ids + output formats
+//	GET  /v1/workloads          the workload catalog (synthetic + traces)
+//	GET  /v1/configs            configurations, predictors, Table III names
+//	POST /v1/runs               run one RunSpec; the response is a sim.Report
+//	POST /v1/sweeps             run a SweepSpec (?format=json|csv|text)
 //
-// The instruction budget is fixed per process (-n): results are cached by
-// configuration and benchmark, so one budget per cache keeps entries
+// Deprecated pre-v1 aliases (kept for existing clients, answered with a
+// Deprecation header): GET /experiments, GET /run?exp=...&w=...
+//
+// Budgets: a RunSpec's insts defaults to -n and is clamped to -max-insts
+// server-side; the response's spec.insts shows what actually ran. Sweep
+// budgets are fixed per process (-n): results are cached by
+// (configuration, workload), so one budget per cache keeps entries
 // comparable.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -31,39 +37,42 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"time"
 
-	"bebop/internal/engine"
-	"bebop/internal/experiments"
-	"bebop/internal/trace"
+	"bebop/sim"
 )
-
-type server struct {
-	runner *experiments.Runner
-}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	n := flag.Int64("n", 100_000, "dynamic instructions per workload (fixed per process)")
-	par := flag.Int("p", 0, "max parallel simulations (0 = GOMAXPROCS)")
+	n := flag.Int64("n", 100_000, "default dynamic instructions per workload (sweeps: fixed per process)")
+	maxInsts := flag.Int64("max-insts", 0, "upper bound on a run request's instruction budget (0 = 10x -n)")
+	runTimeout := flag.Duration("run-timeout", 60*time.Second, "wall-clock bound for one POST /v1/runs simulation (0 = none)")
+	maxRuns := flag.Int("max-runs", 4, "max concurrent POST /v1/runs simulations")
+	par := flag.Int("p", 0, "max parallel sweep simulations (0 = GOMAXPROCS)")
 	traceDir := flag.String("trace-dir", "", "directory of .bbt traces to add as named workloads")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
-	cat, err := trace.Catalog(*traceDir)
+	if *version {
+		fmt.Println(sim.Version())
+		return
+	}
+
+	s, err := newServer(serverConfig{
+		defaultInsts:      *n,
+		maxInsts:          *maxInsts,
+		runTimeout:        *runTimeout,
+		maxConcurrentRuns: *maxRuns,
+		traceDir:          *traceDir,
+		parallel:          *par,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := &server{runner: experiments.NewRunner(experiments.Options{Insts: *n, Parallel: *par, Catalog: cat})}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.healthz)
-	mux.HandleFunc("GET /experiments", s.experiments)
-	mux.HandleFunc("GET /run", s.run)
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           s.routes(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -76,118 +85,9 @@ func main() {
 		srv.Shutdown(shCtx)
 	}()
 
-	log.Printf("bebop-serve listening on %s (insts=%d, workers=%d)",
-		*addr, *n, s.runner.Engine().Workers())
+	log.Printf("bebop-serve %s listening on %s (insts=%d, max-insts=%d, run-timeout=%s)",
+		sim.Version(), *addr, s.cfg.defaultInsts, s.cfg.maxInsts, s.cfg.runTimeout)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
-}
-
-func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
-	st := s.runner.Engine().Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ok",
-		"workers":       s.runner.Engine().Workers(),
-		"cache_entries": st.Entries,
-		"cache_hits":    st.Hits,
-		"cache_misses":  st.Misses,
-		"runs":          st.Runs,
-	})
-}
-
-func (s *server) experiments(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"experiments": experiments.ExperimentIDs(),
-		"formats":     engine.Formats(),
-	})
-}
-
-func (s *server) run(w http.ResponseWriter, req *http.Request) {
-	q := req.URL.Query()
-	exp := strings.ToLower(q.Get("exp"))
-	if exp == "" {
-		httpError(w, http.StatusBadRequest, "missing exp parameter")
-		return
-	}
-	// Unlike the CLI, the service defaults to JSON.
-	f := engine.FormatJSON
-	if fs := q.Get("format"); fs != "" {
-		var err error
-		if f, err = engine.ParseFormat(fs); err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-	}
-
-	// Scope cancellation to this request; the cache stays shared.
-	r := s.runner.WithContext(req.Context())
-	if wl := q.Get("w"); wl != "" {
-		r = r.WithWorkloads(strings.Split(wl, ","))
-	}
-
-	ids := []string{exp}
-	if exp == "all" {
-		ids = experiments.ExperimentIDs()
-	}
-	start := time.Now()
-	if f == engine.FormatText {
-		var sb strings.Builder
-		for _, id := range ids {
-			if err := r.RunAndRender(&sb, id); err != nil {
-				runError(w, req, err)
-				return
-			}
-			sb.WriteByte('\n')
-		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, sb.String())
-		logRun(req, ids, start)
-		return
-	}
-	reports, err := r.Reports(ids)
-	if err != nil {
-		runError(w, req, err)
-		return
-	}
-	switch f {
-	case engine.FormatCSV:
-		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-	default:
-		w.Header().Set("Content-Type", "application/json")
-	}
-	if err := f.Write(w, reports...); err != nil {
-		log.Printf("run %v: write: %v", ids, err)
-		return
-	}
-	logRun(req, ids, start)
-}
-
-// runError maps an experiment failure onto an HTTP status: unknown ids are
-// client errors, client disconnects are logged only, the rest are 500s.
-func runError(w http.ResponseWriter, req *http.Request, err error) {
-	switch {
-	case errors.Is(err, context.Canceled):
-		log.Printf("run %s: client gone: %v", req.URL.RawQuery, err)
-	case errors.Is(err, experiments.ErrUnknownExperiment),
-		errors.Is(err, experiments.ErrUnknownBenchmark):
-		httpError(w, http.StatusBadRequest, err.Error())
-	default:
-		httpError(w, http.StatusInternalServerError, err.Error())
-	}
-}
-
-func logRun(req *http.Request, ids []string, start time.Time) {
-	log.Printf("run %v ok in %s (%s)", ids, time.Since(start).Round(time.Millisecond), req.RemoteAddr)
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
 }

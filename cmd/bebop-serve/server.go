@@ -1,0 +1,313 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"bebop/sim"
+)
+
+// serverConfig is everything main's flags decide.
+type serverConfig struct {
+	// defaultInsts is the budget used when a RunSpec doesn't set one;
+	// maxInsts is the server-side bound a request cannot exceed (the
+	// measured budget and the warmup budget are clamped independently).
+	defaultInsts int64
+	maxInsts     int64
+	// runTimeout bounds one POST /v1/runs simulation (0 = none); the
+	// request context still cancels earlier if the client disconnects.
+	runTimeout time.Duration
+	// maxConcurrentRuns bounds simultaneous /v1/runs simulations.
+	maxConcurrentRuns int
+	traceDir          string
+	parallel          int
+}
+
+// server is the bebop-serve HTTP front end over the bebop/sim SDK.
+type server struct {
+	cfg     serverConfig
+	sweeper *sim.Sweeper
+	runSem  chan struct{}
+}
+
+func newServer(cfg serverConfig) (*server, error) {
+	if cfg.defaultInsts <= 0 {
+		cfg.defaultInsts = sim.DefaultInsts
+	}
+	if cfg.maxInsts <= 0 {
+		cfg.maxInsts = 10 * cfg.defaultInsts
+	}
+	if cfg.defaultInsts > cfg.maxInsts {
+		cfg.defaultInsts = cfg.maxInsts
+	}
+	if cfg.maxConcurrentRuns <= 0 {
+		cfg.maxConcurrentRuns = 4
+	}
+	sw, err := sim.NewSweeper(sim.SweepOptions{
+		Insts:    cfg.defaultInsts,
+		TraceDir: cfg.traceDir,
+		Parallel: cfg.parallel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &server{
+		cfg:     cfg,
+		sweeper: sw,
+		runSem:  make(chan struct{}, cfg.maxConcurrentRuns),
+	}, nil
+}
+
+// routes builds the v1 REST mux. The pre-v1 endpoints stay mounted as
+// deprecated aliases so existing clients keep working; they answer with a
+// Deprecation header pointing at their replacement.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /v1/experiments", s.experimentsV1)
+	mux.HandleFunc("GET /v1/workloads", s.workloadsV1)
+	mux.HandleFunc("GET /v1/configs", s.configsV1)
+	mux.HandleFunc("POST /v1/runs", s.runsV1)
+	mux.HandleFunc("POST /v1/sweeps", s.sweepsV1)
+	// Deprecated pre-v1 surface.
+	mux.HandleFunc("GET /experiments", s.deprecated("/v1/experiments", s.experimentsV1))
+	mux.HandleFunc("GET /run", s.deprecated("/v1/sweeps", s.runLegacy))
+	return mux
+}
+
+func (s *server) deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, req)
+	}
+}
+
+func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"version": sim.Version(),
+		"engine":  s.sweeper.Stats(),
+		"limits": map[string]any{
+			"default_insts":       s.cfg.defaultInsts,
+			"max_insts":           s.cfg.maxInsts,
+			"run_timeout_seconds": s.cfg.runTimeout.Seconds(),
+			"max_concurrent_runs": s.cfg.maxConcurrentRuns,
+		},
+	})
+}
+
+func (s *server) experimentsV1(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"experiments": sim.Experiments(),
+		"formats":     sim.Formats(),
+	})
+}
+
+func (s *server) workloadsV1(w http.ResponseWriter, _ *http.Request) {
+	infos, err := sim.ListWorkloads(s.cfg.traceDir)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error(), nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": infos})
+}
+
+func (s *server) configsV1(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"configs":       sim.Configs(),
+		"predictors":    sim.Predictors(),
+		"bebop_configs": sim.BeBoPConfigs(),
+		"policies":      sim.Policies(),
+	})
+}
+
+// runsV1 executes one RunSpec under the request's context: the budget is
+// clamped to the server bound, the run is cancelled when the client
+// disconnects, and -run-timeout caps how long one request may simulate.
+func (s *server) runsV1(w http.ResponseWriter, req *http.Request) {
+	spec, err := sim.DecodeRunSpec(http.MaxBytesReader(w, req.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	// File access stays pinned to the operator's -trace-dir: a request
+	// must not name server-side paths (probing arbitrary files via open()
+	// errors) or re-point the catalog directory.
+	if spec.Trace != "" {
+		httpError(w, http.StatusBadRequest,
+			"trace file paths are not accepted over HTTP; put the .bbt in the server's -trace-dir and select it with workload", nil)
+		return
+	}
+	if spec.TraceDir != "" && spec.TraceDir != s.cfg.traceDir {
+		httpError(w, http.StatusBadRequest,
+			"trace_dir is fixed per server (start bebop-serve with -trace-dir); drop it from the spec", nil)
+		return
+	}
+	spec.TraceDir = s.cfg.traceDir
+
+	// Server-side budget bounds. Clamping (rather than rejecting) keeps
+	// the endpoint usable without knowing the bound: the response's
+	// spec.insts shows what actually ran. Negative budgets are not
+	// defaulted — Validate rejects them with a 400, like every other
+	// front end.
+	if spec.Insts == 0 {
+		spec.Insts = s.cfg.defaultInsts
+	}
+	if spec.Insts > s.cfg.maxInsts {
+		spec.Insts = s.cfg.maxInsts
+	}
+	if spec.Warmup != nil && *spec.Warmup > s.cfg.maxInsts {
+		clamped := s.cfg.maxInsts
+		spec.Warmup = &clamped
+	}
+
+	spec, err = spec.Validate()
+	if err != nil {
+		clientOrServerError(w, err)
+		return
+	}
+
+	// One slot per run, bounded: a burst of requests queues here instead
+	// of oversubscribing the simulator; a client that gives up while
+	// queued costs nothing (ctx is checked before the run starts).
+	ctx := req.Context()
+	select {
+	case s.runSem <- struct{}{}:
+		defer func() { <-s.runSem }()
+	case <-ctx.Done():
+		logClientGone(req, ctx.Err())
+		return
+	}
+	if s.cfg.runTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.runTimeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	rep, err := sim.Run(ctx, spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout,
+			fmt.Sprintf("run exceeded the server's -run-timeout (%s); lower insts (max %d)",
+				s.cfg.runTimeout, s.cfg.maxInsts), nil)
+		return
+	case errors.Is(err, context.Canceled):
+		logClientGone(req, err)
+		return
+	default:
+		clientOrServerError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+	log.Printf("run %s/%s insts=%d ok in %s (%s)",
+		rep.Config, rep.Workload, rep.Spec.Insts,
+		time.Since(start).Round(time.Millisecond), req.RemoteAddr)
+}
+
+// sweepsV1 executes a SweepSpec against the shared warm cache. The
+// format query parameter selects text, json (default) or csv.
+func (s *server) sweepsV1(w http.ResponseWriter, req *http.Request) {
+	spec, err := sim.DecodeSweepSpec(http.MaxBytesReader(w, req.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	s.serveSweep(w, req, spec, req.URL.Query().Get("format"))
+}
+
+// runLegacy is the deprecated GET /run?exp=...&w=...&format=... surface,
+// mapped onto the same sweep path.
+func (s *server) runLegacy(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	exp := q.Get("exp")
+	if exp == "" {
+		httpError(w, http.StatusBadRequest, "missing exp parameter", nil)
+		return
+	}
+	spec := sim.SweepSpec{Experiments: strings.Split(exp, ",")}
+	if wl := q.Get("w"); wl != "" {
+		spec.Workloads = strings.Split(wl, ",")
+	}
+	s.serveSweep(w, req, spec, q.Get("format"))
+}
+
+func (s *server) serveSweep(w http.ResponseWriter, req *http.Request, spec sim.SweepSpec, format string) {
+	if format == "" {
+		format = "json" // unlike the CLI, the service defaults to JSON
+	}
+	switch format {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+
+	// Sweeper.Write buffers internally per experiment, but a direct
+	// write to w would commit a 200 before later experiments run; buffer
+	// the whole document so errors still map to statuses.
+	var buf strings.Builder
+	start := time.Now()
+	err := s.sweeper.Write(req.Context(), &buf, format, spec)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			logClientGone(req, err)
+			return
+		}
+		w.Header().Del("Content-Type") // error bodies are JSON
+		clientOrServerError(w, err)
+		return
+	}
+	fmt.Fprint(w, buf.String())
+	log.Printf("sweep %v ok in %s (%s)", spec.Experiments, time.Since(start).Round(time.Millisecond), req.RemoteAddr)
+}
+
+// clientOrServerError maps unknown-name and budget errors to 400 (the
+// body carries the valid names) and everything else to 500.
+func clientOrServerError(w http.ResponseWriter, err error) {
+	var ue *sim.UnknownNameError
+	if errors.As(err, &ue) {
+		httpError(w, http.StatusBadRequest, err.Error(), map[string]any{
+			"kind":  ue.Kind,
+			"name":  ue.Name,
+			"valid": ue.Valid,
+		})
+		return
+	}
+	var be *sim.BudgetError
+	if errors.Is(err, sim.ErrInvalidSpec) || errors.As(err, &be) {
+		httpError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	httpError(w, http.StatusInternalServerError, err.Error(), nil)
+}
+
+func logClientGone(req *http.Request, err error) {
+	log.Printf("%s %s: client gone: %v", req.Method, req.URL.Path, err)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string, extra map[string]any) {
+	body := map[string]any{"error": msg}
+	for k, v := range extra {
+		body[k] = v
+	}
+	writeJSON(w, code, body)
+}

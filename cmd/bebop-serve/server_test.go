@@ -1,0 +1,337 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bebop/sim"
+)
+
+func testServer(t *testing.T, cfg serverConfig) *httptest.Server {
+	t.Helper()
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, blob
+}
+
+func TestV1RunSuccessAndDeterminism(t *testing.T) {
+	ts := testServer(t, serverConfig{defaultInsts: 5_000, maxInsts: 20_000})
+
+	body := `{"workload":"swim","config":"eole-bebop/Medium","insts":8000}`
+	resp1, blob1 := postJSON(t, ts.URL+"/v1/runs", body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp1.StatusCode, blob1)
+	}
+	var rep sim.Report
+	if err := json.Unmarshal(blob1, &rep); err != nil {
+		t.Fatalf("response is not a sim.Report: %v\n%s", err, blob1)
+	}
+	if rep.SchemaVersion != sim.ReportSchemaVersion || rep.Workload != "swim" ||
+		rep.Config != "EOLE_4_60/Medium" || rep.Cycles == 0 || rep.Spec.Insts != 8000 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+
+	// Same spec, same bytes: the run endpoint is deterministic.
+	_, blob2 := postJSON(t, ts.URL+"/v1/runs", body)
+	if !bytes.Equal(blob1, blob2) {
+		t.Fatalf("two runs of the same spec differ:\n%s\n---\n%s", blob1, blob2)
+	}
+
+	// And the normalized spec inside the response replays to the same
+	// report — the round-trip contract of the SDK.
+	specJSON, err := json.Marshal(rep.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, blob3 := postJSON(t, ts.URL+"/v1/runs", string(specJSON))
+	if !bytes.Equal(blob1, blob3) {
+		t.Fatalf("replaying the response spec diverged:\n%s\n---\n%s", blob1, blob3)
+	}
+
+	// The same spec run in-process through the SDK matches field by field.
+	local, err := sim.Run(context.Background(), rep.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaHTTP sim.Report
+	if err := json.Unmarshal(blob1, &viaHTTP); err != nil {
+		t.Fatal(err)
+	}
+	if local != viaHTTPWithoutPointers(viaHTTP, local) {
+		t.Fatalf("HTTP run diverged from in-process run:\nhttp:  %+v\nlocal: %+v", viaHTTP, local)
+	}
+}
+
+// viaHTTPWithoutPointers compares two reports ignoring pointer identity
+// in Spec.Warmup (the values must match; the addresses cannot).
+func viaHTTPWithoutPointers(a, b sim.Report) sim.Report {
+	if a.Spec.Warmup != nil && b.Spec.Warmup != nil && *a.Spec.Warmup == *b.Spec.Warmup {
+		a.Spec.Warmup = b.Spec.Warmup
+	}
+	return a
+}
+
+func TestV1RunUnknownNames(t *testing.T) {
+	ts := testServer(t, serverConfig{defaultInsts: 5_000})
+
+	cases := []struct {
+		body string
+		want string // a valid name the error body must list
+		kind string
+	}{
+		{`{"workload":"nope"}`, "swim", "workload"},
+		{`{"workload":"swim","config":"nope"}`, "eole-bebop", "configuration"},
+		{`{"workload":"swim","config":"baseline-vp/nope"}`, "D-VTAGE", "predictor"},
+		{`{"workload":"swim","config":"eole-bebop/nope"}`, "Medium", "Table III config"},
+	}
+	for _, c := range cases {
+		resp, blob := postJSON(t, ts.URL+"/v1/runs", c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", c.body, resp.StatusCode)
+		}
+		var e struct {
+			Error string   `json:"error"`
+			Kind  string   `json:"kind"`
+			Valid []string `json:"valid"`
+		}
+		if err := json.Unmarshal(blob, &e); err != nil {
+			t.Fatalf("%s: error body is not JSON: %s", c.body, blob)
+		}
+		if e.Kind != c.kind {
+			t.Fatalf("%s: kind %q, want %q", c.body, e.Kind, c.kind)
+		}
+		found := false
+		for _, v := range e.Valid {
+			if v == c.want {
+				found = true
+			}
+		}
+		if !found || !strings.Contains(e.Error, c.want) {
+			t.Fatalf("%s: error body does not list %q: %s", c.body, c.want, blob)
+		}
+	}
+}
+
+func TestV1RunMalformedSpec(t *testing.T) {
+	ts := testServer(t, serverConfig{defaultInsts: 5_000})
+	for _, body := range []string{
+		`{not json`,
+		`{"workload":"swim","instz":12}`,               // unknown field
+		`{"workload":"swim","trace":"x.bbt"}`,          // mutually exclusive
+		`{"workload":"swim","schema_version":99}`,      // future schema
+		`{"workload":"swim","trace_dir":"/somewhere"}`, // server-fixed field
+		`{"trace":"/etc/passwd"}`,                      // server-side paths rejected
+		`{"workload":"swim","insts":-5}`,               // negative budget: 400, not defaulted
+	} {
+		resp, blob := postJSON(t, ts.URL+"/v1/runs", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400 (%s)", body, resp.StatusCode, blob)
+		}
+	}
+}
+
+func TestV1RunBudgetClamping(t *testing.T) {
+	ts := testServer(t, serverConfig{defaultInsts: 4_000, maxInsts: 6_000})
+
+	// No budget: the server default applies.
+	resp, blob := postJSON(t, ts.URL+"/v1/runs", `{"workload":"swim"}`)
+	var rep sim.Report
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(blob, &rep) != nil {
+		t.Fatalf("default run failed: %d %s", resp.StatusCode, blob)
+	}
+	if rep.Spec.Insts != 4_000 {
+		t.Fatalf("default budget = %d, want 4000", rep.Spec.Insts)
+	}
+
+	// An oversized request is clamped to -max-insts, and the response
+	// spec reports the clamped value.
+	resp, blob = postJSON(t, ts.URL+"/v1/runs", `{"workload":"swim","insts":1000000000,"warmup":1000000000}`)
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(blob, &rep) != nil {
+		t.Fatalf("clamped run failed: %d %s", resp.StatusCode, blob)
+	}
+	if rep.Spec.Insts != 6_000 || rep.Spec.Warmup == nil || *rep.Spec.Warmup != 6_000 {
+		t.Fatalf("budget not clamped: %+v", rep.Spec)
+	}
+}
+
+func TestV1RunClientCancellation(t *testing.T) {
+	// maxInsts high enough that the run would take minutes uncancelled.
+	s, err := newServer(serverConfig{defaultInsts: 5_000, maxInsts: 500_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/runs",
+		strings.NewReader(`{"workload":"swim","insts":200000000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		errc <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("request succeeded; expected the client cancellation to abort it")
+	}
+	// The handler (and its simulation) must wind down promptly so the
+	// worker is free again; Close blocks until all handlers return.
+	done := make(chan struct{})
+	go func() { ts.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not release the cancelled run's handler; the simulation kept burning the worker")
+	}
+}
+
+func TestV1RunTimeout(t *testing.T) {
+	ts := testServer(t, serverConfig{
+		defaultInsts: 5_000,
+		maxInsts:     500_000_000,
+		runTimeout:   150 * time.Millisecond,
+	})
+	resp, blob := postJSON(t, ts.URL+"/v1/runs", `{"workload":"swim","insts":200000000}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%s)", resp.StatusCode, blob)
+	}
+	if !strings.Contains(string(blob), "run-timeout") {
+		t.Fatalf("timeout body not actionable: %s", blob)
+	}
+}
+
+func TestV1CatalogEndpoints(t *testing.T) {
+	ts := testServer(t, serverConfig{defaultInsts: 5_000})
+
+	var exp struct {
+		Experiments []string `json:"experiments"`
+		Formats     []string `json:"formats"`
+	}
+	getJSON(t, ts.URL+"/v1/experiments", &exp)
+	if len(exp.Experiments) == 0 || len(exp.Formats) != 3 {
+		t.Fatalf("experiments endpoint: %+v", exp)
+	}
+
+	var wl struct {
+		Workloads []sim.WorkloadInfo `json:"workloads"`
+	}
+	getJSON(t, ts.URL+"/v1/workloads", &wl)
+	if len(wl.Workloads) != 36 || wl.Workloads[0].Kind != "synthetic" {
+		t.Fatalf("workloads endpoint: %d entries", len(wl.Workloads))
+	}
+
+	var cfgs struct {
+		Configs      []string `json:"configs"`
+		Predictors   []string `json:"predictors"`
+		BeBoPConfigs []string `json:"bebop_configs"`
+		Policies     []string `json:"policies"`
+	}
+	getJSON(t, ts.URL+"/v1/configs", &cfgs)
+	if len(cfgs.Configs) == 0 || len(cfgs.Predictors) == 0 ||
+		len(cfgs.BeBoPConfigs) != 4 || len(cfgs.Policies) != 4 {
+		t.Fatalf("configs endpoint: %+v", cfgs)
+	}
+
+	var hz struct {
+		Status  string `json:"status"`
+		Version string `json:"version"`
+	}
+	getJSON(t, ts.URL+"/healthz", &hz)
+	if hz.Status != "ok" || !strings.HasPrefix(hz.Version, "bebop") {
+		t.Fatalf("healthz: %+v", hz)
+	}
+}
+
+func TestV1SweepsAndDeprecatedRunAlias(t *testing.T) {
+	ts := testServer(t, serverConfig{defaultInsts: 5_000})
+
+	// table3 is static (no simulation), so this exercises the full sweep
+	// path instantly.
+	resp, blob := postJSON(t, ts.URL+"/v1/sweeps", `{"experiments":["table3"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, blob)
+	}
+	var tables []sim.ExperimentTable
+	if err := json.Unmarshal(blob, &tables); err != nil || len(tables) != 1 || tables[0].ID != "table3" {
+		t.Fatalf("sweep response: %v %s", err, blob)
+	}
+
+	// Unknown experiment → 400 listing the ids.
+	resp, blob = postJSON(t, ts.URL+"/v1/sweeps", `{"experiments":["nope"]}`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(blob), "table3") {
+		t.Fatalf("unknown experiment: %d %s", resp.StatusCode, blob)
+	}
+
+	// The deprecated GET /run alias answers with the same table and a
+	// Deprecation header.
+	resp, err := http.Get(ts.URL + "/run?exp=table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Deprecation") != "true" {
+		t.Fatalf("legacy /run: %d (Deprecation=%q)", resp.StatusCode, resp.Header.Get("Deprecation"))
+	}
+	if !bytes.Equal(legacy, blobOf(t, ts.URL)) {
+		t.Fatalf("legacy alias diverged from /v1/sweeps:\n%s\n---\n%s", legacy, blobOf(t, ts.URL))
+	}
+}
+
+// blobOf fetches the canonical /v1/sweeps table3 response.
+func blobOf(t *testing.T, base string) []byte {
+	t.Helper()
+	_, blob := postJSON(t, base+"/v1/sweeps", `{"experiments":["table3"]}`)
+	return blob
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, blob)
+	}
+	if err := json.Unmarshal(blob, v); err != nil {
+		t.Fatalf("GET %s: %v\n%s", url, err, blob)
+	}
+}

@@ -1,15 +1,17 @@
 // Command bebop-sim runs a single workload under a single processor
 // configuration and prints the detailed result: cycle counts, IPC, branch
-// and value prediction statistics. The workload is a synthetic Table II
-// benchmark, a named trace from -trace-dir, or a .bbt file given
-// directly with -trace — replaying a recorded benchmark reproduces the
-// synthetic run bit-identically.
+// and value prediction statistics. It is a thin front end over the
+// bebop/sim SDK: flags assemble a sim.RunSpec, or -spec loads one from a
+// JSON file — the same spec `POST /v1/runs` on bebop-serve consumes —
+// and replaying a spec reproduces its run bit-identically.
 //
 // Usage:
 //
 //	bebop-sim -bench swim -config eole-bebop -predictor Medium -n 200000
 //	bebop-sim -trace swim-100k.bbt -config baseline -n 50000
 //	bebop-sim -trace-dir traces -bench swim-mutated -n 50000
+//	bebop-sim -spec run.json
+//	bebop-sim -bench mcf -config eole-bebop/Large -print-spec > run.json
 //
 // Configurations:
 //
@@ -19,6 +21,8 @@
 //	eole          EOLE_4_60 with a per-instruction D-VTAGE
 //	eole-bebop    EOLE_4_60 with BeBoP (-predictor selects a Table III
 //	              config: Small_4p, Small_6p, Medium, Large)
+//	eole-bebop-custom  EOLE_4_60 with the -npred/-base/-tagged/-stride/
+//	              -win/-policy geometry
 package main
 
 import (
@@ -30,14 +34,7 @@ import (
 	"strings"
 	"time"
 
-	"bebop/internal/core"
-	"bebop/internal/engine"
-	"bebop/internal/pipeline"
-	"bebop/internal/prof"
-	"bebop/internal/specwindow"
-	"bebop/internal/trace"
-	"bebop/internal/util"
-	"bebop/internal/workload"
+	"bebop/sim"
 )
 
 func main() {
@@ -45,11 +42,13 @@ func main() {
 	tracePath := flag.String("trace", "", "replay this .bbt trace file instead of -bench")
 	traceDir := flag.String("trace-dir", "", "directory of .bbt traces to add as named workloads")
 	config := flag.String("config", "baseline",
-		strings.Join(core.ConfigNames(), " | ")+" | eole-bebop-custom")
-	pred := flag.String("predictor", "D-VTAGE",
-		"predictor for baseline-vp ("+strings.Join(core.AllPredictorNames(), ", ")+
-			") or Table III config for eole-bebop (Small_4p, Small_6p, Medium, Large)")
+		strings.Join(sim.Configs(), " | ")+" | eole-bebop-custom")
+	pred := flag.String("predictor", "",
+		"predictor for baseline-vp ("+strings.Join(sim.Predictors(), ", ")+
+			") or Table III config for eole-bebop ("+strings.Join(sim.BeBoPConfigs(), ", ")+")")
 	n := flag.Int64("n", 200_000, "dynamic instructions to simulate")
+	specPath := flag.String("spec", "", "run this JSON RunSpec file (replaces the selection flags)")
+	printSpec := flag.Bool("print-spec", false, "print the normalized RunSpec as JSON and exit without running")
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
 	list := flag.Bool("list", false, "list workloads and exit")
 	npred := flag.Int("npred", 6, "custom: predictions per entry")
@@ -57,97 +56,131 @@ func main() {
 	tagged := flag.Int("tagged", 256, "custom: tagged component entries")
 	stride := flag.Int("stride", 64, "custom: stride bits")
 	win := flag.Int("win", -1, "custom: speculative window entries (-1 inf, 0 none)")
-	pol := flag.String("policy", "Ideal", "custom: recovery policy (Ideal, Repred, DnRDnR, DnRR)")
+	pol := flag.String("policy", "Ideal", "custom: recovery policy ("+strings.Join(sim.Policies(), ", ")+")")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
-	cat, err := trace.Catalog(*traceDir)
-	if err != nil {
-		fatal(err)
+	if *version {
+		fmt.Println(sim.Version())
+		return
 	}
 
 	if *list {
-		for _, p := range workload.Profiles() {
+		infos, err := sim.ListWorkloads(*traceDir)
+		if err != nil {
+			fatal(err)
+		}
+		for _, w := range infos {
+			if w.Kind == "trace" {
+				fmt.Printf("%-12s trace    %s\n", w.Name, w.Path)
+				continue
+			}
 			typ := "FP "
-			if p.INT {
+			if w.INT {
 				typ = "INT"
 			}
-			fmt.Printf("%-12s %-8s %s paper-IPC=%.3f\n", p.Name, p.Suite, typ, p.PaperIPC)
-		}
-		for _, name := range cat.Names() {
-			src, _ := cat.Lookup(name)
-			if fs, ok := src.(trace.FileSource); ok {
-				fmt.Printf("%-12s trace    %s\n", name, fs.Path)
-			}
+			fmt.Printf("%-12s %-8s %s paper-IPC=%.3f\n", w.Name, w.Suite, typ, w.PaperIPC)
 		}
 		return
 	}
 
-	var mk core.ConfigFactory
-	if *config == "eole-bebop-custom" {
-		policy, ok := specwindow.ParsePolicy(*pol)
-		if !ok {
-			fatal(fmt.Errorf("unknown policy %q", *pol))
-		}
-		bb := core.BlockConfig(*npred, *base, *tagged, *stride, *win, policy)
-		mk = core.EOLEBeBoP("custom", bb)
-	} else if mk, err = core.NamedFactory(*config, *pred); err != nil {
-		fatal(err)
-	}
-
-	benchSet := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "bench" {
-			benchSet = true
-		}
-	})
-
-	var src workload.Source
-	switch {
-	case *tracePath != "" && benchSet:
-		fatal(fmt.Errorf("-bench and -trace are mutually exclusive"))
-	case *tracePath != "":
-		src = trace.NewFileSource(*tracePath)
-	default:
-		var ok bool
-		if src, ok = cat.Lookup(*bench); !ok {
-			fatal(fmt.Errorf("unknown workload %q (have: %s)", *bench, cat.NameList()))
-		}
-	}
-
-	stopCPU, err := prof.StartCPU(*cpuprofile)
+	spec, err := buildSpec(*specPath, *bench, *tracePath, *traceDir, *config, *pred, *n,
+		*npred, *base, *tagged, *stride, *win, *pol)
 	if err != nil {
 		fatal(err)
 	}
-	// A single simulation is not interruptible mid-run, so no timeout or
-	// signal context here; cancellation matters for batch scheduling
-	// (bebop-sweep, bebop-serve), where queued jobs can still be stopped.
-	eng := engine.New[pipeline.Result](engine.Options{Workers: 1})
-	jr, err := eng.Run(context.Background(), engine.Job[pipeline.Result]{
-		Key:   *config + "/" + *pred,
-		Bench: src.Name(),
-		Run: func(context.Context) (pipeline.Result, error) {
-			return core.RunSource(src, *n, mk)
-		},
-	})
+
+	if *printSpec {
+		norm, err := spec.Validate()
+		if err != nil {
+			fatal(err)
+		}
+		blob, err := norm.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(blob)
+		return
+	}
+
+	stopCPU, err := sim.StartCPUProfile(*cpuprofile)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	rep, err := sim.Run(context.Background(), spec)
+	elapsed := time.Since(start)
 	stopCPU()
 	if err != nil {
 		fatal(err)
 	}
-	if err := prof.WriteHeap(*memprofile); err != nil {
+	if err := sim.WriteHeapProfile(*memprofile); err != nil {
 		fatal(err)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(jr.Value); err != nil {
+		if err := enc.Encode(rep); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	printResult(jr.Value)
-	fmt.Printf("sim wall time     %s\n", jr.Elapsed.Round(time.Millisecond))
+	printReport(rep)
+	fmt.Printf("sim wall time     %s\n", elapsed.Round(time.Millisecond))
+}
+
+// buildSpec assembles the RunSpec from -spec or the selection flags.
+// Mixing both is an error: a spec file is the complete run description.
+func buildSpec(specPath, bench, tracePath, traceDir, config, pred string, n int64,
+	npred, base, tagged, stride, win int, pol string) (sim.RunSpec, error) {
+
+	selectionFlags := map[string]bool{
+		"bench": true, "trace": true, "trace-dir": true, "config": true,
+		"predictor": true, "n": true, "npred": true, "base": true,
+		"tagged": true, "stride": true, "win": true, "policy": true,
+	}
+	var conflicting []string
+	benchSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if selectionFlags[f.Name] {
+			conflicting = append(conflicting, "-"+f.Name)
+		}
+		if f.Name == "bench" {
+			benchSet = true
+		}
+	})
+	if specPath != "" {
+		if len(conflicting) > 0 {
+			return sim.RunSpec{}, fmt.Errorf("-spec is a complete run description; drop %s (edit the spec file instead)",
+				strings.Join(conflicting, ", "))
+		}
+		return sim.LoadRunSpec(specPath)
+	}
+
+	spec := sim.RunSpec{
+		TraceDir:  traceDir,
+		Predictor: pred,
+		Insts:     n,
+	}
+	switch {
+	case tracePath != "" && benchSet:
+		return sim.RunSpec{}, fmt.Errorf("-bench and -trace are mutually exclusive")
+	case tracePath != "":
+		spec.Trace = tracePath
+	default:
+		spec.Workload = bench
+	}
+	if config == "eole-bebop-custom" {
+		spec.BeBoP = &sim.BeBoPConfig{
+			NPred: npred, BaseEntries: base, TaggedEntries: tagged,
+			StrideBits: stride, WindowSize: win, Policy: pol,
+		}
+	} else {
+		spec.Config = config
+	}
+	return spec, nil
 }
 
 func fatal(err error) {
@@ -155,24 +188,25 @@ func fatal(err error) {
 	os.Exit(2)
 }
 
-func printResult(r pipeline.Result) {
+func printReport(r sim.Report) {
 	fmt.Printf("config            %s\n", r.Config)
+	fmt.Printf("workload          %s\n", r.Workload)
 	fmt.Printf("cycles            %d\n", r.Cycles)
 	fmt.Printf("instructions      %d\n", r.Insts)
 	fmt.Printf("uops              %d\n", r.UOps)
 	fmt.Printf("IPC               %.3f\n", r.IPC)
 	fmt.Printf("uops/cycle        %.3f\n", r.UPC)
-	fmt.Printf("branch MPKI       %.2f\n", r.BrMispPKI)
+	fmt.Printf("branch MPKI       %.2f\n", r.BranchMPKI)
 	fmt.Printf("L1D misses        %d (+%d MSHR merges)\n", r.L1DMisses, r.L1DMSHRMerges)
 	fmt.Printf("L2 misses         %d (+%d MSHR merges)\n", r.L2Misses, r.L2MSHRMerges)
 	fmt.Printf("squashed uops     %d\n", r.SquashedUOps)
 	fmt.Printf("value mispredicts %d\n", r.ValueMispredicts)
 	fmt.Printf("memorder flushes  %d\n", r.MemOrderFlushes)
-	if r.StorageBits > 0 {
-		fmt.Printf("VP storage        %s\n", util.KB(r.StorageBits))
+	if r.VPStorageBits > 0 {
+		fmt.Printf("VP storage        %s\n", r.VPStorage())
 		fmt.Printf("VP eligible       %d\n", r.VP.Eligible)
-		fmt.Printf("VP used           %d (coverage %.1f%%)\n", r.VP.Used, 100*r.VP.Coverage())
-		fmt.Printf("VP accuracy       %.3f%%\n", 100*r.VP.Accuracy())
+		fmt.Printf("VP used           %d (coverage %.1f%%)\n", r.VP.Used, 100*r.VP.Coverage)
+		fmt.Printf("VP accuracy       %.3f%%\n", 100*r.VP.Accuracy)
 		fmt.Printf("specwin hits      %d / %d probes\n", r.VP.SpecWindowHits, r.VP.SpecWindowProbes)
 		fmt.Printf("early|late|ldimm  %d | %d | %d\n", r.EarlyExecuted, r.LateExecuted, r.FreeLoadImms)
 	}

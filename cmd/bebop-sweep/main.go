@@ -1,8 +1,10 @@
 // Command bebop-sweep regenerates the paper's tables and figures: for each
 // experiment id it runs the corresponding configuration sweep over the
 // Table II workload suite and prints the same rows/series the paper
-// reports. Simulations are scheduled by the sharded engine, so baselines
-// shared between experiments simulate exactly once per invocation.
+// reports. It drives the bebop/sim Sweeper, so baselines shared between
+// experiments simulate exactly once per invocation; the sweep can also be
+// described declaratively with -spec, the same JSON `POST /v1/sweeps`
+// on bebop-serve consumes.
 //
 // Usage:
 //
@@ -10,7 +12,7 @@
 //	bebop-sweep -exp all -p 8
 //	bebop-sweep -exp fig7b -w swim,applu,bzip2 -n 500000
 //	bebop-sweep -exp fig8 -format json
-//	bebop-sweep -exp all -format csv -progress
+//	bebop-sweep -spec sweep.json -format csv -progress
 package main
 
 import (
@@ -22,45 +24,68 @@ import (
 	"strings"
 	"time"
 
-	"bebop/internal/engine"
-	"bebop/internal/experiments"
-	"bebop/internal/trace"
+	"bebop/sim"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: "+strings.Join(experiments.ExperimentIDs(), ", ")+", or 'all'")
+	exp := flag.String("exp", "all", "experiment id: "+strings.Join(sim.Experiments(), ", ")+", or 'all'")
 	n := flag.Int64("n", 100_000, "dynamic instructions per workload")
 	w := flag.String("w", "", "comma-separated workload subset (default: the whole catalog)")
 	traceDir := flag.String("trace-dir", "", "directory of .bbt traces to add as named workloads")
 	par := flag.Int("p", 0, "max parallel simulations (0 = GOMAXPROCS)")
-	format := flag.String("format", "text", "output format: "+strings.Join(engine.Formats(), ", "))
+	format := flag.String("format", "text", "output format: "+strings.Join(sim.Formats(), ", "))
+	specPath := flag.String("spec", "", "run this JSON SweepSpec file (replaces -exp/-w/-n/-trace-dir)")
 	timeout := flag.Duration("timeout", 0, "stop scheduling new simulations after this duration; in-flight ones finish (0 = none)")
 	progress := flag.Bool("progress", false, "stream per-simulation progress to stderr")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
-	f, err := engine.ParseFormat(*format)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	if *version {
+		fmt.Println(sim.Version())
+		return
 	}
 
-	cat, err := trace.Catalog(*traceDir)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	spec := sim.SweepSpec{Insts: *n, TraceDir: *traceDir}
+	if *specPath != "" {
+		var conflicting []string
+		selection := map[string]bool{"exp": true, "w": true, "n": true, "trace-dir": true}
+		flag.Visit(func(f *flag.Flag) {
+			if selection[f.Name] {
+				conflicting = append(conflicting, "-"+f.Name)
+			}
+		})
+		if len(conflicting) > 0 {
+			fatal(fmt.Errorf("-spec is a complete sweep description; drop %s (edit the spec file instead)",
+				strings.Join(conflicting, ", ")))
+		}
+		var err error
+		if spec, err = sim.LoadSweepSpec(*specPath); err != nil {
+			fatal(err)
+		}
+	} else {
+		spec.Experiments = strings.Split(*exp, ",")
+		if *w != "" {
+			spec.Workloads = strings.Split(*w, ",")
+		}
 	}
-	opts := experiments.Options{Insts: *n, Parallel: *par, Catalog: cat}
-	if *w != "" {
-		opts.Workloads = strings.Split(*w, ",")
+
+	opts := sim.SweepOptions{
+		Insts:    spec.Insts,
+		TraceDir: spec.TraceDir,
+		Parallel: *par,
 	}
 	if *progress {
-		opts.OnProgress = func(ev engine.Event) {
-			if ev.Kind != engine.EventDone || ev.Cached || ev.Err != nil {
+		opts.Progress = func(p sim.Progress) {
+			if p.Cached || p.Err != nil {
 				return
 			}
 			fmt.Fprintf(os.Stderr, "[%3d/%3d] %s %s (%s)\n",
-				ev.Completed, ev.Total, ev.Key, ev.Bench, ev.Elapsed.Round(time.Millisecond))
+				p.Completed, p.Total, p.Config, p.Workload, p.Elapsed.Round(time.Millisecond))
 		}
+	}
+	sw, err := sim.NewSweeper(opts)
+	if err != nil {
+		fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -77,31 +102,29 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	r := experiments.NewRunner(opts).WithContext(ctx)
 
-	ids := []string{strings.ToLower(*exp)}
-	if ids[0] == "all" {
-		ids = experiments.ExperimentIDs()
-	}
-
-	if f == engine.FormatText {
-		for _, id := range ids {
-			if err := r.RunAndRender(os.Stdout, id); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+	// Text output streams experiment by experiment (a long -exp all run
+	// shows results as they complete); JSON and CSV emit one document.
+	if *format == "text" {
+		norm, err := spec.Validate()
+		if err != nil {
+			fatal(err)
+		}
+		for _, id := range norm.Experiments {
+			sub := norm
+			sub.Experiments = []string{id}
+			if err := sw.Write(ctx, os.Stdout, "text", sub); err != nil {
+				fatal(err)
 			}
-			fmt.Println()
 		}
 		return
 	}
-	// JSON and CSV emit all requested experiments as one document.
-	reports, err := r.Reports(ids)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	if err := sw.Write(ctx, os.Stdout, *format, spec); err != nil {
+		fatal(err)
 	}
-	if err := f.Write(os.Stdout, reports...); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
 }

@@ -18,17 +18,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"bebop/internal/core"
 	"bebop/internal/isa"
 	"bebop/internal/trace"
 	"bebop/internal/util"
 	"bebop/internal/workload"
+	"bebop/sim"
 )
 
 func main() {
@@ -46,6 +47,9 @@ func main() {
 		err = cmdInfo(os.Args[2:])
 	case "dump":
 		err = cmdDump(os.Args[2:])
+	case "version", "-version", "--version":
+		fmt.Println(sim.Version())
+		return
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -68,18 +72,18 @@ Subcommands:
   replay   run a processor from a .bbt trace and print the result
   info     print a trace's header and frame geometry
   dump     list instructions or per-class totals (generator or trace)
+  version  print version and exit
 
 Run 'bebop-trace <subcommand> -h' for flags.
 `)
 }
 
-// openBench builds a generator for a Table II benchmark, with an error
-// that lists the valid names.
+// openBench builds a generator for a Table II benchmark, with the shared
+// unknown-name error listing the valid names.
 func openBench(bench string, n int64) (*workload.Generator, error) {
 	g, ok := workload.NewByName(bench, n)
 	if !ok {
-		return nil, fmt.Errorf("unknown benchmark %q (have: %s)",
-			bench, strings.Join(workload.Names(), ", "))
+		return nil, util.UnknownName("workload", bench, workload.Names())
 	}
 	return g, nil
 }
@@ -134,19 +138,15 @@ func cmdRecord(args []string) error {
 func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("bebop-trace replay", flag.ExitOnError)
 	path := fs.String("trace", "", ".bbt trace to replay (required)")
-	config := fs.String("config", "baseline", strings.Join(core.ConfigNames(), " | "))
-	pred := fs.String("predictor", "D-VTAGE",
-		"predictor ("+strings.Join(core.AllPredictorNames(), ", ")+") or Table III config")
+	config := fs.String("config", "baseline", strings.Join(sim.Configs(), " | "))
+	pred := fs.String("predictor", "",
+		"predictor ("+strings.Join(sim.Predictors(), ", ")+") or Table III config")
 	n := fs.Int64("n", 0, "measured instructions (0 = derive from the trace: 2/3 measure, 1/3 warmup)")
 	asJSON := fs.Bool("json", false, "emit the result as JSON")
 	fs.Parse(args)
 
 	if *path == "" {
 		return fmt.Errorf("replay: -trace is required")
-	}
-	mk, err := core.NamedFactory(*config, *pred)
-	if err != nil {
-		return err
 	}
 	insts := *n
 	if insts <= 0 {
@@ -159,28 +159,33 @@ func cmdReplay(args []string) error {
 		if total == 0 {
 			return fmt.Errorf("replay: %s has no instruction count; pass -n", *path)
 		}
-		// core.RunSource consumes warmup (insts/2) + insts.
+		// The SDK consumes warmup (insts/2) + insts.
 		insts = total * 2 / 3
 	}
-	res, err := core.RunSource(trace.NewFileSource(*path), insts, mk)
+	rep, err := sim.Run(context.Background(), sim.RunSpec{
+		Trace:     *path,
+		Config:    *config,
+		Predictor: *pred,
+		Insts:     insts,
+	})
 	if err != nil {
 		return err
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(res)
+		return enc.Encode(rep)
 	}
 	fmt.Printf("trace             %s\n", *path)
-	fmt.Printf("config            %s\n", res.Config)
-	fmt.Printf("cycles            %d\n", res.Cycles)
-	fmt.Printf("instructions      %d\n", res.Insts)
-	fmt.Printf("IPC               %.3f\n", res.IPC)
-	fmt.Printf("branch MPKI       %.2f\n", res.BrMispPKI)
-	if res.StorageBits > 0 {
-		fmt.Printf("VP storage        %s\n", util.KB(res.StorageBits))
-		fmt.Printf("VP coverage       %.1f%%\n", 100*res.VP.Coverage())
-		fmt.Printf("VP accuracy       %.3f%%\n", 100*res.VP.Accuracy())
+	fmt.Printf("config            %s\n", rep.Config)
+	fmt.Printf("cycles            %d\n", rep.Cycles)
+	fmt.Printf("instructions      %d\n", rep.Insts)
+	fmt.Printf("IPC               %.3f\n", rep.IPC)
+	fmt.Printf("branch MPKI       %.2f\n", rep.BranchMPKI)
+	if rep.VPStorageBits > 0 {
+		fmt.Printf("VP storage        %s\n", rep.VPStorage())
+		fmt.Printf("VP coverage       %.1f%%\n", 100*rep.VP.Coverage)
+		fmt.Printf("VP accuracy       %.3f%%\n", 100*rep.VP.Accuracy)
 	}
 	return nil
 }

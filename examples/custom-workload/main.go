@@ -1,20 +1,24 @@
 // Custom workload: build a synthetic benchmark profile from scratch (not
 // one of the Table II substitutes) and explore how its value-pattern mix
 // changes the benefit of value prediction. Doubling the stride share turns
-// a VP-insensitive program into a VP-friendly one.
+// a VP-insensitive program into a VP-friendly one. The profile is plain
+// data (sim.Profile), passed to the SDK with sim.WithProfile — the same
+// profile can also be embedded in a RunSpec JSON file and POSTed to
+// bebop-serve.
 //
 //	go run ./examples/custom-workload
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"bebop/internal/core"
-	"bebop/internal/workload"
+	"bebop/sim"
 )
 
-func myProfile(strideShare float64) workload.Profile {
-	return workload.Profile{
+func myProfile(strideShare float64) sim.Profile {
+	return sim.Profile{
 		Name:     "custom",
 		Suite:    "user",
 		INT:      false,
@@ -25,8 +29,8 @@ func myProfile(strideShare float64) workload.Profile {
 		LoopBodyMin: 12, LoopBodyMax: 28,
 		IterMin: 80, IterMax: 600,
 
-		Classes: workload.ClassMix{ALU: 0.34, FP: 0.20, FPMul: 0.08, Mul: 0.02, Div: 0.005, Load: 0.24, Store: 0.115},
-		Values: workload.PatternMix{
+		Classes: sim.ClassMix{ALU: 0.34, FP: 0.20, FPMul: 0.08, Mul: 0.02, Div: 0.005, Load: 0.24, Store: 0.115},
+		Values: sim.PatternMix{
 			Const:  0.15,
 			Stride: strideShare,
 			CFDep:  0.10,
@@ -43,14 +47,20 @@ func myProfile(strideShare float64) workload.Profile {
 
 func main() {
 	const insts = 100_000
+	ctx := context.Background()
 	fmt.Printf("%-14s %12s %12s %10s %10s\n",
 		"stride share", "base IPC", "VP IPC", "speedup", "coverage")
 	for _, share := range []float64{0.10, 0.30, 0.55} {
 		prof := myProfile(share)
-		base := core.Run(prof, insts, core.Baseline())
-		vp := core.Run(prof, insts, core.BaselineVP("D-VTAGE"))
+		base, err := sim.New(sim.WithProfile(prof), sim.WithConfig("baseline"), sim.WithInsts(insts)).Run(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vp, err := sim.New(sim.WithProfile(prof), sim.WithConfig("baseline-vp/D-VTAGE"), sim.WithInsts(insts)).Run(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-14.2f %12.3f %12.3f %10.3f %9.1f%%\n",
-			share, base.IPC, vp.IPC,
-			float64(base.Cycles)/float64(vp.Cycles), 100*vp.VP.Coverage())
+			share, base.IPC, vp.IPC, vp.SpeedupOver(base), 100*vp.VP.Coverage)
 	}
 }

@@ -3,16 +3,18 @@
 // same fetch block are in flight at once: without the window, D-VTAGE adds
 // its strides to *retired* last values that are several iterations stale,
 // predictions are wrong, confidence never saturates, and coverage
-// collapses (Fig. 7(b)).
+// collapses (Fig. 7(b)). The window sweep is expressed as a custom BeBoP
+// geometry (sim.WithBeBoP) varying only the window size.
 //
 //	go run ./examples/loopheavy
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"bebop/internal/core"
-	"bebop/internal/specwindow"
+	"bebop/sim"
 )
 
 func main() {
@@ -21,6 +23,7 @@ func main() {
 	benches := []string{"bzip2", "wupwise", "applu"}
 	sizes := []int{-1, 56, 32, 16, 0}
 	const insts = 120_000
+	ctx := context.Background()
 
 	fmt.Printf("%-10s", "window")
 	for _, b := range benches {
@@ -28,13 +31,13 @@ func main() {
 	}
 	fmt.Println("   (speedup over Baseline_6_60 / VP coverage)")
 
-	base := map[string]int64{}
+	base := map[string]sim.Report{}
 	for _, b := range benches {
-		r, err := core.RunByName(b, insts, core.Baseline())
+		r, err := sim.New(sim.WithWorkload(b), sim.WithConfig("baseline"), sim.WithInsts(insts)).Run(ctx)
 		if err != nil {
-			panic(err)
+			log.Fatal(err)
 		}
-		base[b] = r.Cycles
+		base[b] = r
 	}
 
 	for _, sz := range sizes {
@@ -46,9 +49,18 @@ func main() {
 		}
 		fmt.Printf("%-10s", label)
 		for _, b := range benches {
-			bb := core.BlockConfig(6, 2048, 256, 64, sz, specwindow.PolicyDnRDnR)
-			r, _ := core.RunByName(b, insts, core.EOLEBeBoP("win", bb))
-			fmt.Printf("  %6.3f/%3.0f%%", float64(base[b])/float64(r.Cycles), 100*r.VP.Coverage())
+			r, err := sim.New(
+				sim.WithWorkload(b),
+				sim.WithBeBoP(sim.BeBoPConfig{
+					NPred: 6, BaseEntries: 2048, TaggedEntries: 256,
+					StrideBits: 64, WindowSize: sz, Policy: "DnRDnR",
+				}),
+				sim.WithInsts(insts),
+			).Run(ctx)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %6.3f/%3.0f%%", r.SpeedupOver(base[b]), 100*r.VP.Coverage)
 		}
 		fmt.Println()
 	}

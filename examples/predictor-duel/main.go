@@ -2,7 +2,9 @@
 // predictor and show which pattern classes each one captures — the
 // motivation for D-VTAGE (Section III): VTAGE captures control-flow
 // dependent values but not strides; stride predictors capture strides but
-// not control-flow; D-VTAGE captures both, in one set of tables.
+// not control-flow; D-VTAGE captures both, in one set of tables. The raw
+// predictors are reached through the SDK (sim.NewPredictor), outside any
+// pipeline.
 //
 //	go run ./examples/predictor-duel
 package main
@@ -11,24 +13,22 @@ import (
 	"fmt"
 	"log"
 
-	"bebop/internal/branch"
-	"bebop/internal/core"
-	"bebop/internal/util"
+	"bebop/sim"
 )
 
 // series generates a value stream plus the branch history that drives it.
 type series struct {
 	name string
-	gen  func(i int, h *branch.History) uint64
+	gen  func(i int, h *sim.BranchHistory) uint64
 }
 
 func main() {
-	rng := util.NewRNG(42)
+	rng := sim.NewRNG(42)
 	cur := uint64(0)
 	sets := []series{
-		{"constant", func(i int, h *branch.History) uint64 { return 42 }},
-		{"stride +8", func(i int, h *branch.History) uint64 { return uint64(i) * 8 }},
-		{"cf-dependent", func(i int, h *branch.History) uint64 {
+		{"constant", func(i int, h *sim.BranchHistory) uint64 { return 42 }},
+		{"stride +8", func(i int, h *sim.BranchHistory) uint64 { return uint64(i) * 8 }},
+		{"cf-dependent", func(i int, h *sim.BranchHistory) uint64 {
 			taken := (i/4)%2 == 0
 			h.Push(taken, 0x40)
 			if taken {
@@ -36,7 +36,7 @@ func main() {
 			}
 			return 2222
 		}},
-		{"cf-dep stride", func(i int, h *branch.History) uint64 {
+		{"cf-dep stride", func(i int, h *sim.BranchHistory) uint64 {
 			taken := (i/4)%2 == 0
 			h.Push(taken, 0x40)
 			if taken {
@@ -46,11 +46,11 @@ func main() {
 			}
 			return cur
 		}},
-		{"random", func(i int, h *branch.History) uint64 { return rng.Uint64() }},
+		{"random", func(i int, h *sim.BranchHistory) uint64 { return rng.Uint64() }},
 	}
 
 	fmt.Printf("%-14s", "pattern")
-	for _, p := range core.InstPredictorNames() {
+	for _, p := range sim.InstPredictors() {
 		fmt.Printf(" %16s", p)
 	}
 	fmt.Println()
@@ -58,12 +58,12 @@ func main() {
 	const n, window = 4000, 1000
 	for _, s := range sets {
 		fmt.Printf("%-14s", s.name)
-		for _, pname := range core.InstPredictorNames() {
-			p, err := core.NewInstPredictor(pname)
+		for _, pname := range sim.InstPredictors() {
+			p, err := sim.NewPredictor(pname)
 			if err != nil {
 				log.Fatal(err)
 			}
-			var h branch.History
+			var h sim.BranchHistory
 			var prev uint64
 			hasPrev := false
 			used, correct := 0, 0

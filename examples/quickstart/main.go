@@ -2,40 +2,47 @@
 // paper — Baseline_6_60 (no value prediction), Baseline_VP_6_60
 // (per-instruction D-VTAGE with an idealistic infrastructure), and
 // EOLE_4_60 with the Medium BeBoP configuration of Table III — and print
-// the speedups.
+// the speedups. Everything goes through the public bebop/sim SDK.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"bebop/internal/core"
-	"bebop/internal/util"
+	"bebop/sim"
 )
 
 func main() {
 	const bench = "swim"
 	const insts = 150_000
+	ctx := context.Background()
 
-	base, err := core.RunByName(bench, insts, core.Baseline())
-	if err != nil {
-		log.Fatal(err)
+	run := func(config string) sim.Report {
+		rep, err := sim.New(
+			sim.WithWorkload(bench),
+			sim.WithConfig(config),
+			sim.WithInsts(insts),
+		).Run(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
 	}
-	vp, _ := core.RunByName(bench, insts, core.BaselineVP("D-VTAGE"))
-	bebop, _ := core.RunByName(bench, insts, core.EOLEBeBoP("Medium", core.MediumConfig()))
+	base := run("baseline")
+	vp := run("baseline-vp/D-VTAGE")
+	bebop := run("eole-bebop/Medium")
 
 	fmt.Printf("workload: %s (%d measured instructions)\n\n", bench, insts)
 	fmt.Printf("%-34s %10s %8s %9s\n", "configuration", "cycles", "IPC", "speedup")
 	fmt.Printf("%-34s %10d %8.3f %9s\n", base.Config, base.Cycles, base.IPC, "1.000")
-	fmt.Printf("%-34s %10d %8.3f %9.3f\n", vp.Config, vp.Cycles, vp.IPC,
-		float64(base.Cycles)/float64(vp.Cycles))
-	fmt.Printf("%-34s %10d %8.3f %9.3f\n", bebop.Config, bebop.Cycles, bebop.IPC,
-		float64(base.Cycles)/float64(bebop.Cycles))
+	fmt.Printf("%-34s %10d %8.3f %9.3f\n", vp.Config, vp.Cycles, vp.IPC, vp.SpeedupOver(base))
+	fmt.Printf("%-34s %10d %8.3f %9.3f\n", bebop.Config, bebop.Cycles, bebop.IPC, bebop.SpeedupOver(base))
 
-	fmt.Printf("\nBeBoP D-VTAGE (Medium, %s):\n", util.KB(bebop.StorageBits))
-	fmt.Printf("  coverage  %.1f%% of eligible µ-ops used a prediction\n", 100*bebop.VP.Coverage())
-	fmt.Printf("  accuracy  %.3f%% of used predictions were correct\n", 100*bebop.VP.Accuracy())
+	fmt.Printf("\nBeBoP D-VTAGE (Medium, %s):\n", bebop.VPStorage())
+	fmt.Printf("  coverage  %.1f%% of eligible µ-ops used a prediction\n", 100*bebop.VP.Coverage)
+	fmt.Printf("  accuracy  %.3f%% of used predictions were correct\n", 100*bebop.VP.Accuracy)
 	fmt.Printf("  window    %d hits / %d probes\n", bebop.VP.SpecWindowHits, bebop.VP.SpecWindowProbes)
 }

@@ -14,9 +14,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"strings"
 	"sync"
 
 	"bebop/internal/bebop"
@@ -24,6 +24,7 @@ import (
 	"bebop/internal/pipeline"
 	"bebop/internal/predictor"
 	"bebop/internal/specwindow"
+	"bebop/internal/util"
 	"bebop/internal/workload"
 )
 
@@ -75,8 +76,8 @@ func RunWarm(prof workload.Profile, warmup, insts int64, mk ConfigFactory) pipel
 func RunByName(bench string, insts int64, mk ConfigFactory) (pipeline.Result, error) {
 	prof, ok := workload.ProfileByName(bench)
 	if !ok {
-		return pipeline.Result{}, fmt.Errorf("core: unknown benchmark %q (have: %s)",
-			bench, strings.Join(workload.Names(), ", "))
+		return pipeline.Result{}, fmt.Errorf("core: %w",
+			util.UnknownName("workload", bench, workload.Names()))
 	}
 	return Run(prof, insts, mk), nil
 }
@@ -92,11 +93,73 @@ type sizedStream interface{ TotalInsts() (int64, bool) }
 // RunSource is Run over any workload source — a synthetic profile or a
 // recorded trace. The warmup/measure split matches Run (first insts/2
 // instructions warm all structures), so replaying a trace of a profile
-// reproduces Run(profile) bit-identically. A trace too short for the
-// warmup+measure budget is an error: a half-warmed run silently labeled
-// as measured would poison every comparison against it.
+// reproduces Run(profile) bit-identically.
 func RunSource(src workload.Source, insts int64, mk ConfigFactory) (pipeline.Result, error) {
-	warmup := insts / 2
+	return RunSourceCtx(context.Background(), src, insts/2, insts, mk)
+}
+
+// cancelStream wraps a workload stream so a cancelled context ends the
+// run: Next polls ctx every cancelCheckInsts instructions and reports
+// end-of-stream once the context is done, letting the pipeline drain its
+// in-flight window and return; the recorded context error then surfaces
+// through RunSourceCtx's errStream check. The wrapper is pass-through
+// otherwise, so a run that is never cancelled stays bit-identical to an
+// unwrapped one.
+type cancelStream struct {
+	inner isa.Stream
+	ctx   context.Context
+	n     int64
+	total int64
+	on    func(streamed, total int64)
+	err   error
+}
+
+const cancelCheckInsts = 1024
+
+func (c *cancelStream) Next(in *isa.Inst) bool {
+	if c.err != nil {
+		return false
+	}
+	if c.n++; c.n%cancelCheckInsts == 0 {
+		if err := c.ctx.Err(); err != nil {
+			c.err = err
+			return false
+		}
+		if c.on != nil {
+			c.on(c.n, c.total)
+		}
+	}
+	return c.inner.Next(in)
+}
+
+func (c *cancelStream) Err() error {
+	if c.err != nil {
+		return c.err
+	}
+	if es, ok := c.inner.(errStream); ok {
+		return es.Err()
+	}
+	return nil
+}
+
+// RunSourceCtx is RunSource with an explicit warmup budget and a context
+// observed mid-run: warmup+insts instructions are simulated, statistics
+// are reported for the final insts, and a cancelled ctx stops the
+// simulation within ~1K instructions and returns ctx's error. A trace too
+// short for the warmup+measure budget is an error: a half-warmed run
+// silently labeled as measured would poison every comparison against it.
+func RunSourceCtx(ctx context.Context, src workload.Source, warmup, insts int64, mk ConfigFactory) (pipeline.Result, error) {
+	return RunSourceProgress(ctx, src, warmup, insts, mk, nil)
+}
+
+// RunSourceProgress is RunSourceCtx with a coarse progress callback: on is
+// invoked about every 1K streamed instructions with the number streamed so
+// far and the total warmup+insts budget. It must be fast; it runs on the
+// simulation goroutine.
+func RunSourceProgress(ctx context.Context, src workload.Source, warmup, insts int64, mk ConfigFactory, on func(streamed, total int64)) (pipeline.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return pipeline.Result{}, err
+	}
 	stream, err := src.Open(warmup + insts)
 	if err != nil {
 		return pipeline.Result{}, err
@@ -120,11 +183,20 @@ func RunSource(src workload.Source, insts int64, mk ConfigFactory) (pipeline.Res
 				src.Name(), total, warmup+insts, warmup, insts)
 		}
 	}
-	proc := acquireProc(mk(), stream)
+	// Wrap for cancellation only when the context can actually be
+	// cancelled: the polling wrapper stays off the hot path for plain
+	// context.Background runs (benchmarks, allocation gates). The size
+	// check above ran against the raw stream, so wrapping cannot turn a
+	// sized source into an unsized-looking one.
+	run := stream
+	if ctx.Done() != nil || on != nil {
+		run = &cancelStream{inner: stream, ctx: ctx, total: warmup + insts, on: on}
+	}
+	proc := acquireProc(mk(), run)
 	r := proc.RunWarm(warmup, 0)
 	proc.Release()
 	procPool.Put(proc)
-	if es, ok := stream.(errStream); ok && es.Err() != nil {
+	if es, ok := run.(errStream); ok && es.Err() != nil {
 		err = fmt.Errorf("core: workload %q: %w", src.Name(), es.Err())
 	}
 	if c, ok := stream.(io.Closer); ok {
@@ -175,8 +247,8 @@ func NewInstPredictor(name string) (predictor.Predictor, error) {
 	case "D-FCM":
 		return predictor.NewDFCM(4, 8192, 16384, 0xDFC1), nil
 	}
-	return nil, fmt.Errorf("core: unknown predictor %q (have: %s)",
-		name, strings.Join(AllPredictorNames(), ", "))
+	return nil, fmt.Errorf("core: %w",
+		util.UnknownName("predictor", name, AllPredictorNames()))
 }
 
 // BaselineVP returns the Baseline_VP_6_60 factory with the named
@@ -273,6 +345,16 @@ func ConfigNames() []string {
 	return []string{"baseline", "baseline-vp", "eole", "eole-bebop"}
 }
 
+// TableIIINames lists the Table III configuration names in paper order.
+func TableIIINames() []string {
+	cs := TableIIIConfigs()
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.Name
+	}
+	return names
+}
+
 // TableIIIByName returns the named Table III BeBoP configuration.
 func TableIIIByName(name string) (bebop.Config, error) {
 	for _, c := range TableIIIConfigs() {
@@ -280,12 +362,8 @@ func TableIIIByName(name string) (bebop.Config, error) {
 			return c.Cfg, nil
 		}
 	}
-	names := make([]string, 0, 4)
-	for _, c := range TableIIIConfigs() {
-		names = append(names, c.Name)
-	}
-	return bebop.Config{}, fmt.Errorf("core: unknown Table III config %q (have: %s)",
-		name, strings.Join(names, ", "))
+	return bebop.Config{}, fmt.Errorf("core: %w",
+		util.UnknownName("Table III config", name, TableIIINames()))
 }
 
 // NamedFactory resolves a CLI configuration name to its factory:
@@ -312,8 +390,8 @@ func NamedFactory(config, pred string) (ConfigFactory, error) {
 		}
 		return EOLEBeBoP(pred, bb), nil
 	}
-	return nil, fmt.Errorf("core: unknown configuration %q (have: %s)",
-		config, strings.Join(ConfigNames(), ", "))
+	return nil, fmt.Errorf("core: %w",
+		util.UnknownName("configuration", config, ConfigNames()))
 }
 
 // TableIIIConfigs returns the named final configurations of Table III in

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"bebop/internal/engine"
+	"bebop/internal/util"
 )
 
 // RenderTable2 prints Table II rows.
@@ -150,7 +151,7 @@ func (r *Runner) renderText(w io.Writer, id string) error {
 	case "ablation":
 		RenderSummaries(w, "Ablation: predictor lineages over Baseline_6_60", r.Ablations())
 	default:
-		return fmt.Errorf("experiments: %w %q (have %v)", ErrUnknownExperiment, id, ExperimentIDs())
+		return fmt.Errorf("experiments: %w", util.UnknownName("experiment", id, ExperimentIDs()))
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bebop/internal/engine"
+	"bebop/internal/util"
 )
 
 // Report runs the named experiment and returns it as a format-independent
@@ -34,7 +35,7 @@ func (r *Runner) Report(id string) (engine.Report, error) {
 	case "ablation":
 		rep = summaryReport(id, "Ablation: predictor lineages over Baseline_6_60", r.Ablations())
 	default:
-		return engine.Report{}, fmt.Errorf("experiments: %w %q (have %v)", ErrUnknownExperiment, id, ExperimentIDs())
+		return engine.Report{}, fmt.Errorf("experiments: %w", util.UnknownName("experiment", id, ExperimentIDs()))
 	}
 	if r.err != nil {
 		return engine.Report{}, r.err

@@ -10,7 +10,6 @@ package experiments
 
 import (
 	"context"
-	"errors"
 	"fmt"
 
 	"bebop/internal/core"
@@ -20,11 +19,14 @@ import (
 	"bebop/internal/workload"
 )
 
-// Sentinel errors, so front-ends can map failures onto protocol statuses
-// with errors.Is instead of matching message text.
+// Kind-level sentinels, so front-ends can map failures onto protocol
+// statuses with errors.Is instead of matching message text. The errors
+// carrying them are util.UnknownNameError values (one shared formatting
+// for every unknown-name failure), reachable with errors.As when the
+// caller wants the valid-name list.
 var (
-	ErrUnknownExperiment = errors.New("unknown experiment")
-	ErrUnknownBenchmark  = errors.New("unknown benchmark")
+	ErrUnknownExperiment = util.ErrUnknownKind("experiment")
+	ErrUnknownBenchmark  = util.ErrUnknownKind("workload")
 )
 
 // Options controls an experiment session.
@@ -127,10 +129,13 @@ func (r *Runner) Results(key string, mk core.ConfigFactory) map[string]pipeline.
 			Run: func(ctx context.Context) (pipeline.Result, error) {
 				src, ok := r.opts.Catalog.Lookup(bench)
 				if !ok {
-					return pipeline.Result{}, fmt.Errorf("experiments: %w %q (have: %s)",
-						ErrUnknownBenchmark, bench, r.opts.Catalog.NameList())
+					return pipeline.Result{}, fmt.Errorf("experiments: %w",
+						util.UnknownName("workload", bench, r.opts.Catalog.Names()))
 				}
-				return core.RunSource(src, r.opts.Insts, mk)
+				// Honor ctx mid-simulation, not just at scheduling: a
+				// cancelled sweep (client disconnect, -timeout, Ctrl-C)
+				// stops the in-flight run too.
+				return core.RunSourceCtx(ctx, src, r.opts.Insts/2, r.opts.Insts, mk)
 			},
 		}
 	}

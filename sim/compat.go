@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"bebop/internal/branch"
+	"bebop/internal/core"
+	"bebop/internal/predictor"
+	"bebop/internal/util"
+	"bebop/internal/workload"
+)
+
+// The SDK re-exports (as aliases) the handful of internal types advanced
+// consumers compose with: custom workload profiles for WithProfile, and
+// the raw per-instruction predictor interface for microbenchmarks like
+// examples/predictor-duel. Aliasing keeps one definition of each type —
+// a sim.Profile IS a workload.Profile — while giving external importers
+// a name for it outside internal/.
+
+// Profile describes a synthetic benchmark: loop geometry, instruction
+// class mix, value-pattern mix, branch behaviour and memory footprint.
+// Pass one to WithProfile (or embed it in RunSpec.Profile) to simulate a
+// workload that is not in the Table II catalog.
+type Profile = workload.Profile
+
+// ClassMix is the per-instruction-class share of a Profile.
+type ClassMix = workload.ClassMix
+
+// PatternMix is the value-pattern share of a Profile (const, stride,
+// control-flow dependent, control-flow dependent stride, chaos).
+type PatternMix = workload.PatternMix
+
+// Profiles returns the 36 synthetic Table II profiles, a starting point
+// for custom variations.
+func Profiles() []Profile { return workload.Profiles() }
+
+// Predictor is a raw per-instruction value predictor: Predict/Update at
+// instruction grain, outside any pipeline. Useful for predictor
+// microbenchmarks; simulations use WithConfig/WithPredictor instead.
+type Predictor = predictor.Predictor
+
+// PredictorOutcome is one Predictor lookup result.
+type PredictorOutcome = predictor.Outcome
+
+// BranchHistory is the global branch history register predictors are
+// indexed with.
+type BranchHistory = branch.History
+
+// NewPredictor builds a fresh per-instruction predictor by name (see
+// Predictors), sized as in Section V-B. An unknown name is an
+// *UnknownNameError listing the valid predictors.
+func NewPredictor(name string) (Predictor, error) {
+	return core.NewInstPredictor(name)
+}
+
+// RNG is the xorshift64* generator used throughout the reproduction;
+// exposed so examples and tests can generate deterministic value streams
+// without depending on internal packages.
+type RNG = util.RNG
+
+// NewRNG seeds an RNG (0 selects a fixed default seed).
+func NewRNG(seed uint64) *RNG { return util.NewRNG(seed) }

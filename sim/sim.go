@@ -1,0 +1,227 @@
+// Package sim is the public SDK of the BeBoP reproduction: the stable,
+// versioned surface through which every consumer — the five cmd/
+// binaries, the examples, the HTTP service and external importers — runs
+// simulations. Everything under bebop/internal/ is free to change;
+// this package is not.
+//
+// It has three pillars:
+//
+//   - A functional-options builder for one simulation run:
+//
+//     rep, err := sim.New(
+//     sim.WithWorkload("mcf"),
+//     sim.WithConfig("eole-bebop/Medium"),
+//     sim.WithInsts(200_000),
+//     ).Run(ctx)
+//
+//     Run is context-cancellable mid-simulation and returns a Report, a
+//     flattened, schema-versioned result with an explicit JSON encoding.
+//
+//   - A declarative RunSpec / SweepSpec (spec.go): the same run described
+//     as JSON data, consumed by `bebop-sim -spec`, `bebop-sweep -spec`
+//     and the bebop-serve v1 REST API. sim.New(...).Spec() serializes a
+//     builder back to the spec that reproduces its run bit-identically.
+//
+//   - A Sweeper (sweep.go) regenerating the paper's tables and figures
+//     over the shared caching engine.
+//
+// The package also re-exports the names every front end needs for help
+// text and validation (names.go), the workload-profile and predictor
+// types advanced users build on (compat.go), and the build-version
+// helper shared by all commands (version.go).
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"bebop/internal/bebop"
+	"bebop/internal/core"
+	"bebop/internal/specwindow"
+	"bebop/internal/trace"
+	"bebop/internal/util"
+	"bebop/internal/workload"
+)
+
+// Sim is a configured simulation, built with New. The zero value is not
+// usable.
+type Sim struct {
+	spec     RunSpec
+	progress func(streamed, total int64)
+}
+
+// Option configures a Sim.
+type Option func(*Sim)
+
+// New assembles a simulation from options. Nothing is validated until
+// Spec or Run is called, so options can be applied in any order.
+func New(opts ...Option) *Sim {
+	s := &Sim{}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// FromSpec builds a Sim that runs the given declarative spec.
+func FromSpec(spec RunSpec) *Sim { return &Sim{spec: spec} }
+
+// WithWorkload selects a catalog workload by name: a Table II synthetic
+// benchmark, or a recorded trace when combined with WithTraceDir.
+func WithWorkload(name string) Option {
+	return func(s *Sim) { s.spec.Workload = name }
+}
+
+// WithTrace replays a recorded .bbt trace file.
+func WithTrace(path string) Option {
+	return func(s *Sim) { s.spec.Trace = path }
+}
+
+// WithProfile runs a custom synthetic benchmark profile.
+func WithProfile(p Profile) Option {
+	return func(s *Sim) { s.spec.Profile = &p }
+}
+
+// WithTraceDir adds a directory of .bbt traces to the workload catalog.
+func WithTraceDir(dir string) Option {
+	return func(s *Sim) { s.spec.TraceDir = dir }
+}
+
+// WithConfig selects the pipeline model: "baseline", "baseline-vp",
+// "eole" or "eole-bebop", optionally with the predictor inline as
+// "<config>/<predictor>" (e.g. "eole-bebop/Medium"). See RunSpec.Config.
+func WithConfig(name string) Option {
+	return func(s *Sim) { s.spec.Config = name }
+}
+
+// WithPredictor names the value predictor (baseline-vp) or Table III
+// configuration (eole-bebop). See RunSpec.Predictor.
+func WithPredictor(name string) Option {
+	return func(s *Sim) { s.spec.Predictor = name }
+}
+
+// WithBeBoP runs EOLE with a custom block-based predictor geometry
+// instead of a named Table III configuration.
+func WithBeBoP(cfg BeBoPConfig) Option {
+	return func(s *Sim) { s.spec.BeBoP = &cfg }
+}
+
+// WithInsts sets the measured dynamic instruction budget.
+func WithInsts(n int64) Option {
+	return func(s *Sim) { s.spec.Insts = n }
+}
+
+// WithWarmup sets the warmup instruction budget explicitly (default:
+// half the measured budget; 0 measures from a cold pipeline).
+func WithWarmup(n int64) Option {
+	return func(s *Sim) { s.spec.Warmup = &n }
+}
+
+// WithProgress streams coarse progress: fn is called about every 1K
+// simulated instructions with the count streamed so far and the total
+// warmup+measure budget. fn runs on the simulation goroutine and is not
+// part of the spec (progress is an observer, not run configuration).
+func WithProgress(fn func(streamed, total int64)) Option {
+	return func(s *Sim) { s.progress = fn }
+}
+
+// Spec validates the accumulated options and returns the normalized
+// RunSpec describing this simulation — the JSON-serializable value that
+// reproduces this run through `bebop-sim -spec` or `POST /v1/runs`.
+func (s *Sim) Spec() (RunSpec, error) { return s.spec.Validate() }
+
+// Run validates and executes the simulation. It honors ctx mid-run: a
+// cancelled context stops the simulation within ~1K instructions and
+// returns ctx's error. Identical specs produce bit-identical Reports.
+func (s *Sim) Run(ctx context.Context) (Report, error) {
+	spec, cat, err := s.spec.validate()
+	if err != nil {
+		return Report{}, err
+	}
+	src, err := sourceFor(spec, cat)
+	if err != nil {
+		return Report{}, err
+	}
+	mk, err := factoryFor(spec)
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := core.RunSourceProgress(ctx, src, *spec.Warmup, spec.Insts, mk, s.progress)
+	if err != nil {
+		return Report{}, err
+	}
+	return newReport(spec, src.Name(), res), nil
+}
+
+// Run executes a declarative spec: shorthand for FromSpec(spec).Run(ctx).
+func Run(ctx context.Context, spec RunSpec) (Report, error) {
+	return FromSpec(spec).Run(ctx)
+}
+
+// sourceFor resolves a validated spec's workload selection to a source.
+// cat is the catalog validate already built for the workload check (nil
+// for trace/profile selections, or when the caller validated separately).
+func sourceFor(spec RunSpec, cat *workload.Catalog) (workload.Source, error) {
+	switch {
+	case spec.Trace != "":
+		return trace.NewFileSource(spec.Trace), nil
+	case spec.Profile != nil:
+		return workload.ProfileSource{Prof: *spec.Profile}, nil
+	default:
+		if cat == nil {
+			var err error
+			if cat, err = trace.Catalog(spec.TraceDir); err != nil {
+				return nil, err
+			}
+		}
+		src, ok := cat.Lookup(spec.Workload)
+		if !ok {
+			return nil, util.UnknownName("workload", spec.Workload, cat.Names())
+		}
+		return src, nil
+	}
+}
+
+// factoryFor resolves a validated spec's configuration to a pipeline
+// config factory.
+func factoryFor(spec RunSpec) (core.ConfigFactory, error) {
+	if spec.BeBoP != nil {
+		bb := *spec.BeBoP
+		policy, ok := specwindow.ParsePolicy(bb.Policy)
+		if !ok {
+			return nil, util.UnknownName("recovery policy", bb.Policy, Policies())
+		}
+		cfg := core.BlockConfig(bb.NPred, bb.BaseEntries, bb.TaggedEntries,
+			bb.StrideBits, bb.WindowSize, policy)
+		return core.EOLEBeBoP(customBeBoPName(bb), cfg), nil
+	}
+	return core.NamedFactory(spec.Config, spec.Predictor)
+}
+
+// customBeBoPName labels a custom geometry in Report.Config, so two runs
+// with different knobs stay distinguishable in result files.
+func customBeBoPName(bb BeBoPConfig) string {
+	return fmt.Sprintf("custom-%dp-%db-%dt-%ds-w%d-%s",
+		bb.NPred, bb.BaseEntries, bb.TaggedEntries, bb.StrideBits, bb.WindowSize, bb.Policy)
+}
+
+// StorageKBOf reports a configuration's predictor storage in KB without
+// running it (Table III accounting).
+func StorageKBOf(spec RunSpec) (float64, error) {
+	spec, err := spec.Validate()
+	if err != nil {
+		return 0, err
+	}
+	if spec.Config != "eole-bebop" {
+		return 0, nil
+	}
+	var cfg bebop.Config
+	if spec.BeBoP != nil {
+		bb := *spec.BeBoP
+		policy, _ := specwindow.ParsePolicy(bb.Policy)
+		cfg = core.BlockConfig(bb.NPred, bb.BaseEntries, bb.TaggedEntries, bb.StrideBits, bb.WindowSize, policy)
+	} else if cfg, err = core.TableIIIByName(spec.Predictor); err != nil {
+		return 0, err
+	}
+	return float64(bebop.New(cfg).StorageBits()) / 8 / 1024, nil
+}

@@ -1,0 +1,387 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"bebop/internal/core"
+	"bebop/internal/trace"
+	"bebop/internal/workload"
+)
+
+func TestRunMatchesCore(t *testing.T) {
+	// The facade must be a veneer: a builder run reproduces the internal
+	// core entry point bit for bit.
+	rep, err := New(
+		WithWorkload("swim"),
+		WithConfig("eole-bebop/Medium"),
+		WithInsts(20_000),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.RunByName("swim", 20_000, core.EOLEBeBoP("Medium", core.MediumConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles != want.Cycles || rep.Insts != want.Insts || rep.IPC != want.IPC ||
+		rep.VP != (VPReport{
+			Eligible: want.VP.Eligible, Attributed: want.VP.Attributed,
+			Used: want.VP.Used, UsedCorrect: want.VP.UsedCorrect,
+			SpecWindowHits: want.VP.SpecWindowHits, SpecWindowProbes: want.VP.SpecWindowProbes,
+			Coverage: want.VP.Coverage(), Accuracy: want.VP.Accuracy(),
+		}) {
+		t.Fatalf("facade diverged from core:\nsim:  %+v\ncore: %+v", rep, want)
+	}
+	if rep.Config != "EOLE_4_60/Medium" {
+		t.Fatalf("resolved config = %q, want EOLE_4_60/Medium", rep.Config)
+	}
+	if rep.Workload != "swim" || rep.SchemaVersion != ReportSchemaVersion {
+		t.Fatalf("report identity wrong: %+v", rep)
+	}
+}
+
+func TestRunSpecRoundTripDeterminism(t *testing.T) {
+	s := New(
+		WithWorkload("gcc"),
+		WithConfig("baseline-vp"),
+		WithPredictor("VTAGE"),
+		WithInsts(10_000),
+	)
+	spec, err := s.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The normalized spec is a fixed point of Validate.
+	again, err := spec.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, again) {
+		t.Fatalf("Validate is not idempotent:\n1: %+v\n2: %+v", spec, again)
+	}
+	// JSON round trip preserves the spec exactly.
+	blob, err := spec.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeRunSpec(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, decoded) {
+		t.Fatalf("JSON round trip changed the spec:\nbefore: %+v\nafter:  %+v", spec, decoded)
+	}
+	// And the replayed spec reproduces the builder run bit-identically.
+	rep1, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Run(context.Background(), decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep1, rep2) {
+		t.Fatalf("replayed spec diverged:\nbuilder: %+v\nspec:    %+v", rep1, rep2)
+	}
+}
+
+func TestConfigShorthands(t *testing.T) {
+	cases := []struct {
+		in        RunSpec
+		cfg, pred string
+	}{
+		{RunSpec{Workload: "swim"}, "baseline", ""},
+		{RunSpec{Workload: "swim", Config: "baseline-vp"}, "baseline-vp", "D-VTAGE"},
+		{RunSpec{Workload: "swim", Config: "baseline-vp/2d-Stride"}, "baseline-vp", "2d-Stride"},
+		{RunSpec{Workload: "swim", Config: "EOLE"}, "eole", ""},
+		{RunSpec{Workload: "swim", Config: "EOLE/Medium"}, "eole-bebop", "Medium"},
+		{RunSpec{Workload: "swim", Config: "eole-bebop"}, "eole-bebop", "Medium"},
+		{RunSpec{Workload: "swim", Config: "eole-bebop/Large"}, "eole-bebop", "Large"},
+	}
+	for _, c := range cases {
+		got, err := c.in.Validate()
+		if err != nil {
+			t.Fatalf("%+v: %v", c.in, err)
+		}
+		if got.Config != c.cfg || got.Predictor != c.pred {
+			t.Fatalf("%q/%q normalized to %q/%q, want %q/%q",
+				c.in.Config, c.in.Predictor, got.Config, got.Predictor, c.cfg, c.pred)
+		}
+	}
+}
+
+func TestValidationErrorsListValidNames(t *testing.T) {
+	cases := []struct {
+		spec RunSpec
+		kind string
+		name string // a name the error text must list
+	}{
+		{RunSpec{Workload: "nope"}, "workload", "swim"},
+		{RunSpec{Workload: "swim", Config: "nope"}, "configuration", "eole-bebop"},
+		{RunSpec{Workload: "swim", Config: "baseline-vp/nope"}, "predictor", "D-FCM"},
+		{RunSpec{Workload: "swim", Config: "eole-bebop/nope"}, "Table III config", "Small_4p"},
+		{RunSpec{Workload: "swim", BeBoP: &BeBoPConfig{NPred: 6, BaseEntries: 64, TaggedEntries: 64, StrideBits: 8, Policy: "nope"}}, "recovery policy", "DnRDnR"},
+	}
+	for _, c := range cases {
+		_, err := c.spec.Validate()
+		var ue *UnknownNameError
+		if !errors.As(err, &ue) {
+			t.Fatalf("%+v: got %v, want UnknownNameError", c.spec, err)
+		}
+		if ue.Kind != c.kind {
+			t.Fatalf("%+v: kind = %q, want %q", c.spec, ue.Kind, c.kind)
+		}
+		if !strings.Contains(err.Error(), c.name) {
+			t.Fatalf("%+v: error %q does not list %q", c.spec, err, c.name)
+		}
+	}
+
+	// Structural errors are plain but actionable.
+	for _, spec := range []RunSpec{
+		{},
+		{Workload: "swim", Trace: "x.bbt"},
+		{Workload: "swim", Config: "baseline", Predictor: "VTAGE"},
+		{Workload: "swim", Config: "eole-bebop/Medium", BeBoP: &BeBoPConfig{NPred: 6, BaseEntries: 64, TaggedEntries: 64, StrideBits: 8}},
+		{Workload: "swim", Insts: -1},
+		{Workload: "swim", SchemaVersion: RunSpecSchemaVersion + 1},
+	} {
+		if _, err := spec.Validate(); err == nil {
+			t.Fatalf("spec %+v validated, want error", spec)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	_, err := DecodeRunSpec(strings.NewReader(`{"workload":"swim","instz":5}`))
+	if err == nil || !strings.Contains(err.Error(), "instz") {
+		t.Fatalf("unknown field not rejected: %v", err)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		// A budget this large runs for minutes if cancellation fails.
+		_, err := New(WithWorkload("swim"), WithConfig("baseline"), WithInsts(50_000_000)).Run(ctx)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+		if el := time.Since(start); el > 10*time.Second {
+			t.Fatalf("cancellation took %s", el)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not stop after cancellation")
+	}
+}
+
+func TestWarmupOption(t *testing.T) {
+	warm, err := New(WithWorkload("swim"), WithInsts(10_000)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := New(WithWorkload("swim"), WithInsts(10_000), WithWarmup(0)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *warm.Spec.Warmup != 5_000 || *cold.Spec.Warmup != 0 {
+		t.Fatalf("warmup budgets: warm %d cold %d", *warm.Spec.Warmup, *cold.Spec.Warmup)
+	}
+	if warm.Cycles == cold.Cycles {
+		t.Fatal("cold-pipeline run reported identical cycles to a warmed run; warmup option had no effect")
+	}
+}
+
+func TestProgressFires(t *testing.T) {
+	var calls int
+	var lastStreamed, lastTotal int64
+	_, err := New(
+		WithWorkload("swim"),
+		WithInsts(10_000),
+		WithProgress(func(streamed, total int64) {
+			calls++
+			lastStreamed, lastTotal = streamed, total
+		}),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("progress callback never fired")
+	}
+	if lastTotal != 15_000 || lastStreamed == 0 || lastStreamed > lastTotal {
+		t.Fatalf("last progress %d/%d, want total 15000", lastStreamed, lastTotal)
+	}
+}
+
+func TestCustomProfileAndBeBoP(t *testing.T) {
+	prof := Profiles()[0]
+	prof.Name = "custom-gzip"
+	rep, err := New(
+		WithProfile(prof),
+		WithBeBoP(BeBoPConfig{NPred: 6, BaseEntries: 128, TaggedEntries: 64, StrideBits: 8, WindowSize: 32}),
+		WithInsts(10_000),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workload != "custom-gzip" {
+		t.Fatalf("workload = %q", rep.Workload)
+	}
+	if !strings.Contains(rep.Config, "custom-6p-128b-64t-8s-w32-DnRDnR") {
+		t.Fatalf("custom geometry not reflected in config name: %q", rep.Config)
+	}
+	if rep.VPStorageBits == 0 {
+		t.Fatal("custom BeBoP run reported no predictor storage")
+	}
+	kb, err := StorageKBOf(rep.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kb != rep.VPStorageKB() {
+		t.Fatalf("StorageKBOf %.3f != report %.3f", kb, rep.VPStorageKB())
+	}
+}
+
+func TestSweeper(t *testing.T) {
+	sw, err := NewSweeper(SweepOptions{Insts: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// table3 is static storage accounting: no simulations, fast.
+	spec := SweepSpec{Experiments: []string{"table3"}}
+	tables, err := sw.Tables(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].ID != "table3" || len(tables[0].Rows) != 4 {
+		t.Fatalf("unexpected table3 report: %+v", tables)
+	}
+	var buf bytes.Buffer
+	if err := sw.Write(context.Background(), &buf, "json", spec); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []ExperimentTable
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("sweep JSON does not parse: %v", err)
+	}
+	buf.Reset()
+	if err := sw.Write(context.Background(), &buf, "text", spec); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table III") {
+		t.Fatalf("text output missing title: %q", buf.String())
+	}
+
+	var ue *UnknownNameError
+	if _, err := sw.Tables(context.Background(), SweepSpec{Experiments: []string{"nope"}}); !errors.As(err, &ue) || ue.Kind != "experiment" {
+		t.Fatalf("unknown experiment: got %v", err)
+	}
+	if _, err := sw.Tables(context.Background(), SweepSpec{Workloads: []string{"nope"}}); !errors.As(err, &ue) || ue.Kind != "workload" {
+		t.Fatalf("unknown workload: got %v", err)
+	}
+	var be *BudgetError
+	if _, err := sw.Tables(context.Background(), SweepSpec{Insts: 999}); !errors.As(err, &be) {
+		t.Fatalf("budget mismatch: got %v", err)
+	}
+}
+
+func TestSweeperTraceWorkloads(t *testing.T) {
+	// A SweepSpec naming a trace workload must validate against the
+	// session's catalog (which scanned -trace-dir), not a catalog
+	// re-derived from the spec — the spec usually doesn't carry
+	// trace_dir when the Sweeper already did.
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "tinygcc.bbt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := workload.NewByName("gcc", 3_000)
+	if _, _, err := trace.Record(f, g, trace.WriterOptions{Name: "gcc", Seed: g.Profile().Seed}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sw, err := NewSweeper(SweepOptions{Insts: 1_000, TraceDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range sw.Workloads() {
+		if n == "tinygcc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trace workload missing from sweeper catalog: %v", sw.Workloads())
+	}
+	// table2 simulates the selected workloads; restricting to the trace
+	// name must be accepted and run.
+	tables, err := sw.Tables(context.Background(), SweepSpec{
+		Experiments: []string{"table2"},
+		Workloads:   []string{"tinygcc"},
+	})
+	if err != nil {
+		t.Fatalf("sweep over a trace workload rejected: %v", err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 1 || tables[0].Rows[0].Label != "tinygcc" {
+		t.Fatalf("unexpected table: %+v", tables)
+	}
+}
+
+func TestSweepSpecDedupesExperiments(t *testing.T) {
+	spec, err := SweepSpec{Experiments: []string{"fig8", "fig8", "all"}}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, id := range spec.Experiments {
+		seen[id]++
+	}
+	if seen["fig8"] != 1 || len(spec.Experiments) != len(Experiments()) {
+		t.Fatalf("experiment ids not deduped: %v", spec.Experiments)
+	}
+}
+
+func TestNamesAndVersion(t *testing.T) {
+	if v := Version(); !strings.HasPrefix(v, "bebop") {
+		t.Fatalf("Version() = %q", v)
+	}
+	if len(Workloads()) != 36 {
+		t.Fatalf("Workloads() = %d names, want 36", len(Workloads()))
+	}
+	infos, err := ListWorkloads("")
+	if err != nil || len(infos) != 36 || infos[0].Kind != "synthetic" {
+		t.Fatalf("ListWorkloads: %v, %d", err, len(infos))
+	}
+	for _, set := range [][]string{Configs(), Predictors(), InstPredictors(), BeBoPConfigs(), Policies(), Experiments(), Formats()} {
+		if len(set) == 0 {
+			t.Fatal("empty name set")
+		}
+	}
+	p, err := NewPredictor("D-VTAGE")
+	if err != nil || p.Name() == "" {
+		t.Fatalf("NewPredictor: %v", err)
+	}
+	if _, err := NewPredictor("nope"); err == nil {
+		t.Fatal("NewPredictor accepted a bad name")
+	}
+}

@@ -96,6 +96,31 @@ func viaHTTPWithoutPointers(a, b sim.Report) sim.Report {
 	return a
 }
 
+// TestV1RunProbeWorkload checks probe workloads run over the REST API
+// by name: "probe/<family>/<pressure>" is synthesized, not a catalog
+// entry, so the run path must accept it like any workload.
+func TestV1RunProbeWorkload(t *testing.T) {
+	ts := testServer(t, serverConfig{defaultInsts: 5_000})
+	resp, blob := postJSON(t, ts.URL+"/v1/runs",
+		`{"workload":"probe/vp-stride/16","config":"eole-bebop/Medium","insts":8000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe run: status %d: %s", resp.StatusCode, blob)
+	}
+	var rep sim.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("response is not a sim.Report: %v\n%s", err, blob)
+	}
+	if rep.Workload != "probe/vp-stride/16" || rep.Cycles == 0 {
+		t.Fatalf("unexpected probe report: %+v", rep)
+	}
+
+	// An unknown family is a client error naming the valid families.
+	resp, blob = postJSON(t, ts.URL+"/v1/runs", `{"workload":"probe/nope/16"}`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(blob), "vp-stride") {
+		t.Fatalf("bad probe name: status %d: %s", resp.StatusCode, blob)
+	}
+}
+
 func TestV1RunUnknownNames(t *testing.T) {
 	ts := testServer(t, serverConfig{defaultInsts: 5_000})
 
@@ -248,8 +273,13 @@ func TestV1CatalogEndpoints(t *testing.T) {
 		Workloads []sim.WorkloadInfo `json:"workloads"`
 	}
 	getJSON(t, ts.URL+"/v1/workloads", &wl)
-	if len(wl.Workloads) != 36 || wl.Workloads[0].Kind != "synthetic" {
-		t.Fatalf("workloads endpoint: %d entries", len(wl.Workloads))
+	var gridPoints int
+	for _, f := range sim.ProbeFamilies() {
+		gridPoints += len(f.Grid)
+	}
+	if len(wl.Workloads) != 36+gridPoints || wl.Workloads[0].Kind != "synthetic" {
+		t.Fatalf("workloads endpoint: %d entries, want %d (36 synthetic + %d probe grid points)",
+			len(wl.Workloads), 36+gridPoints, gridPoints)
 	}
 
 	var cfgs struct {

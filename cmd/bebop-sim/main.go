@@ -12,6 +12,8 @@
 //	bebop-sim -trace-dir traces -bench swim-mutated -n 50000
 //	bebop-sim -spec run.json
 //	bebop-sim -bench mcf -config eole-bebop/Large -print-spec > run.json
+//	bebop-sim -probe vp-stride -config eole-bebop -predictor Medium
+//	bebop-sim -probe list
 //
 // Configurations:
 //
@@ -47,6 +49,7 @@ func main() {
 		"predictor for baseline-vp ("+strings.Join(sim.Predictors(), ", ")+
 			") or Table III config for eole-bebop ("+strings.Join(sim.BeBoPConfigs(), ", ")+")")
 	n := flag.Int64("n", 200_000, "dynamic instructions to simulate")
+	probeFam := flag.String("probe", "", "sweep this probe family's pressure grid under -config (or 'list')")
 	specPath := flag.String("spec", "", "run this JSON RunSpec file (replaces the selection flags)")
 	printSpec := flag.Bool("print-spec", false, "print the normalized RunSpec as JSON and exit without running")
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
@@ -90,6 +93,13 @@ func main() {
 		*npred, *base, *tagged, *stride, *win, *pol)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *probeFam != "" {
+		if err := runProbe(*probeFam, spec, *tracePath, *asJSON); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *printSpec {
@@ -181,6 +191,60 @@ func buildSpec(specPath, bench, tracePath, traceDir, config, pred string, n int6
 		spec.Config = config
 	}
 	return spec, nil
+}
+
+// runProbe sweeps one probe family's default pressure grid under the
+// configuration the selection flags describe, printing the accuracy-vs-
+// pressure cliff curve as a text table (or the raw Reports as JSON).
+func runProbe(family string, base sim.RunSpec, tracePath string, asJSON bool) error {
+	if tracePath != "" {
+		return fmt.Errorf("-probe and -trace are mutually exclusive")
+	}
+	if family == "list" {
+		for _, f := range sim.ProbeFamilies() {
+			fmt.Printf("%-14s axis=%-8s grid=%v\n  %s\n", f.Name, f.Axis, f.Grid, f.Doc)
+		}
+		return nil
+	}
+	var fam sim.ProbeFamily
+	found := false
+	for _, f := range sim.ProbeFamilies() {
+		if f.Name == family {
+			fam, found = f, true
+			break
+		}
+	}
+	if !found {
+		names := make([]string, 0, 8)
+		for _, f := range sim.ProbeFamilies() {
+			names = append(names, f.Name)
+		}
+		return fmt.Errorf("unknown probe family %q; valid: %s (or 'list')",
+			family, strings.Join(names, ", "))
+	}
+
+	reps := make([]sim.Report, 0, len(fam.Grid))
+	for _, p := range fam.Grid {
+		spec := base
+		spec.Workload = sim.ProbeWorkloadName(fam.Name, p)
+		rep, err := sim.Run(context.Background(), spec)
+		if err != nil {
+			return err
+		}
+		reps = append(reps, rep)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reps)
+	}
+	fmt.Printf("probe family %s (axis %s) under %s\n", fam.Name, fam.Axis, reps[0].Config)
+	fmt.Printf("%10s %8s %10s %11s %11s\n", fam.Axis, "ipc", "br_mpki", "vp_cover", "vp_accuracy")
+	for i, rep := range reps {
+		fmt.Printf("%10d %8.3f %10.2f %10.1f%% %10.3f%%\n",
+			fam.Grid[i], rep.IPC, rep.BranchMPKI, 100*rep.VP.Coverage, 100*rep.VP.Accuracy)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -29,6 +29,7 @@ import (
 	"bebop/internal/trace"
 	"bebop/internal/util"
 	"bebop/internal/workload"
+	"bebop/internal/workload/probe"
 	"bebop/sim"
 )
 
@@ -78,32 +79,43 @@ Run 'bebop-trace <subcommand> -h' for flags.
 `)
 }
 
-// openBench builds a generator for a Table II benchmark, with the shared
-// unknown-name error listing the valid names.
-func openBench(bench string, n int64) (*workload.Generator, error) {
+// openBench builds the instruction stream for a workload name: a
+// Table II generator, or a "probe/<family>/<pressure>" probe stream.
+// The returned seed is what a recording should stamp in its header
+// (probe streams are fully determined by their name, so it is 0).
+func openBench(bench string, n int64) (isa.Stream, uint64, error) {
+	if probe.IsProbeName(bench) {
+		src, err := probe.FromName(bench)
+		if err != nil {
+			return nil, 0, err
+		}
+		st, err := src.Open(n)
+		return st, 0, err
+	}
 	g, ok := workload.NewByName(bench, n)
 	if !ok {
-		return nil, util.UnknownName("workload", bench, workload.Names())
+		return nil, 0, util.UnknownName("workload", bench, workload.Names())
 	}
-	return g, nil
+	return g, g.Profile().Seed, nil
 }
 
 func cmdRecord(args []string) error {
 	fs := flag.NewFlagSet("bebop-trace record", flag.ExitOnError)
-	bench := fs.String("bench", "swim", "Table II benchmark name")
+	bench := fs.String("bench", "swim", "Table II benchmark or probe/<family>/<pressure> name")
 	n := fs.Int64("n", 100_000, "instructions to record")
 	out := fs.String("o", "", "output path (default <bench>-<n>.bbt)")
 	frame := fs.Int("frame", trace.DefaultFrameInsts, "instructions per frame")
 	uncompressed := fs.Bool("uncompressed", false, "disable flate compression of frame payloads")
 	fs.Parse(args)
 
-	g, err := openBench(*bench, *n)
+	g, seed, err := openBench(*bench, *n)
 	if err != nil {
 		return err
 	}
 	path := *out
 	if path == "" {
-		path = fmt.Sprintf("%s-%d%s", *bench, *n, trace.Ext)
+		// Probe names contain '/': flatten them for the default filename.
+		path = fmt.Sprintf("%s-%d%s", strings.ReplaceAll(*bench, "/", "-"), *n, trace.Ext)
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -111,7 +123,7 @@ func cmdRecord(args []string) error {
 	}
 	insts, uops, err := trace.Record(f, g, trace.WriterOptions{
 		Name:         *bench,
-		Seed:         g.Profile().Seed,
+		Seed:         seed,
 		FrameInsts:   *frame,
 		Uncompressed: *uncompressed,
 	})
@@ -230,7 +242,7 @@ func ratio(a, b uint64) float64 {
 
 func cmdDump(args []string) error {
 	fs := flag.NewFlagSet("bebop-trace dump", flag.ExitOnError)
-	bench := fs.String("bench", "", "Table II benchmark name to generate")
+	bench := fs.String("bench", "", "Table II benchmark or probe/<family>/<pressure> name to generate")
 	path := fs.String("trace", "", ".bbt trace to dump instead of a generator")
 	n := fs.Int64("n", 50, "instructions to emit")
 	summary := fs.Bool("summary", false, "print per-class totals instead of a listing")
@@ -258,7 +270,7 @@ func cmdDump(args []string) error {
 		if *bench == "" {
 			*bench = "swim"
 		}
-		g, err := openBench(*bench, *skip+*n)
+		g, _, err := openBench(*bench, *skip+*n)
 		if err != nil {
 			return err
 		}

@@ -95,7 +95,7 @@ func colWidth(name string) int {
 
 // ExperimentIDs lists the sweep identifiers usable with cmd/bebop-sweep.
 func ExperimentIDs() []string {
-	return []string{"table2", "fig5a", "fig5b", "fig6a", "fig6b", "partial", "fig7a", "fig7b", "table3", "fig8", "ablation"}
+	return []string{"table2", "fig5a", "fig5b", "fig6a", "fig6b", "partial", "fig7a", "fig7b", "table3", "fig8", "ablation", "probe"}
 }
 
 // RunAndRender executes the named experiment and renders it to w in the
@@ -150,6 +150,12 @@ func (r *Runner) renderText(w io.Writer, id string) error {
 		RenderSeriesTable(w, "Fig. 8: final configurations over Baseline_6_60", r.Fig8())
 	case "ablation":
 		RenderSummaries(w, "Ablation: predictor lineages over Baseline_6_60", r.Ablations())
+	case "probe":
+		curves, err := r.ProbeCurves()
+		if err != nil {
+			return err
+		}
+		RenderProbeCurves(w, curves)
 	default:
 		return fmt.Errorf("experiments: %w", util.UnknownName("experiment", id, ExperimentIDs()))
 	}

@@ -34,6 +34,12 @@ func (r *Runner) Report(id string) (engine.Report, error) {
 		rep = seriesReport(id, "Fig. 8: final configurations over Baseline_6_60", r.Fig8())
 	case "ablation":
 		rep = summaryReport(id, "Ablation: predictor lineages over Baseline_6_60", r.Ablations())
+	case "probe":
+		curves, err := r.ProbeCurves()
+		if err != nil {
+			return engine.Report{}, err
+		}
+		rep = probeReport(curves)
 	default:
 		return engine.Report{}, fmt.Errorf("experiments: %w", util.UnknownName("experiment", id, ExperimentIDs()))
 	}

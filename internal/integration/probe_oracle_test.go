@@ -1,0 +1,431 @@
+package integration
+
+// The predictor-geometry oracle suite: every probe family's measured
+// cliff must land where the *configured* geometry says it must. Each
+// oracle is an error-returning check over a pinned small geometry, with
+// the probe pressures derived from that geometry (one point safely on
+// the learnable side of the cliff, one safely past it), so the suite
+// fails whenever either the probe streams or the predictor structures
+// drift from the paper's model. TestProbeOracleDetectsBrokenGeometry
+// closes the loop: it deliberately breaks each geometry (halved TAGE
+// history, halved stride width, halved NPred) and requires the oracle
+// to notice — an oracle that passes on a broken predictor would be
+// worthless.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"bebop/internal/core"
+	"bebop/internal/pipeline"
+	"bebop/internal/specwindow"
+	"bebop/internal/workload/probe"
+)
+
+// budget scales a *measured* instruction window down in -short mode:
+// the cliffs are geometric, not statistical, so a quarter of the
+// instructions still lands on the same side of every assertion — it
+// only costs resolution in how sharply the measured rates match their
+// asymptotes. Warmup budgets are never scaled: confidence warmup (the
+// ~129-correct FPC threshold) is itself geometry, and shrinking it
+// would move measurements off the trained asymptote entirely.
+func budget(n int64) int64 {
+	if testing.Short() {
+		return n / 4
+	}
+	return n
+}
+
+// runProbePoint runs one (family, pressure) probe under a config factory
+// and returns the measured result plus the family's per-iteration
+// instruction count, which converts measured totals into per-period
+// rates.
+func runProbePoint(family string, pressure int, warm, insts int64, mk core.ConfigFactory) (pipeline.Result, int, error) {
+	f, ok := probe.Lookup(family)
+	if !ok {
+		return pipeline.Result{}, 0, fmt.Errorf("unknown probe family %q", family)
+	}
+	iter, err := f.IterationInsts(pressure)
+	if err != nil {
+		return pipeline.Result{}, 0, err
+	}
+	src, err := f.Source(pressure)
+	if err != nil {
+		return pipeline.Result{}, 0, err
+	}
+	res, err := core.RunSourceCtx(context.Background(), src, warm, insts, mk)
+	if err != nil {
+		return pipeline.Result{}, 0, err
+	}
+	return res, iter, nil
+}
+
+// tageFactory pins a small TAGE geometry: the default Table I predictor
+// with the longest history clamped to maxHist. Capacity stays huge
+// relative to the history probes, so history length is the only binding
+// constraint.
+func tageFactory(maxHist int) core.ConfigFactory {
+	return func() pipeline.Config {
+		cfg := pipeline.DefaultConfig()
+		cfg.BranchCfg.MaxHist = maxHist
+		cfg.Name = fmt.Sprintf("Baseline_6_60/maxhist=%d", maxHist)
+		return cfg
+	}
+}
+
+// smallTAGEFactory pins a capacity-limited TAGE: numComps tagged
+// components of compEntries each, histories 4..64.
+func smallTAGEFactory(compEntries, numComps int) core.ConfigFactory {
+	return func() pipeline.Config {
+		cfg := pipeline.DefaultConfig()
+		cfg.BranchCfg.CompEntries = compEntries
+		cfg.BranchCfg.NumComps = numComps
+		cfg.BranchCfg.MaxHist = 64
+		cfg.Name = fmt.Sprintf("Baseline_6_60/tage=%dx%d", numComps, compEntries)
+		return cfg
+	}
+}
+
+// bebopFactory pins a BeBoP geometry for the value probes; everything
+// not under test matches the Table III Medium configuration.
+func bebopFactory(npred, baseEntries, strideBits int) core.ConfigFactory {
+	name := fmt.Sprintf("oracle-%dp-%db-%ds", npred, baseEntries, strideBits)
+	return core.EOLEBeBoP(name, core.BlockConfig(npred, baseEntries, 256, strideBits, 32, specwindow.PolicyDnRDnR))
+}
+
+// --- per-family oracles ----------------------------------------------
+
+// oracleTAGEHistory checks the tage-history cliff sits at the configured
+// longest history: a branch taken once per period needs ~2*period
+// history bits, so period 3/8*maxHist is learnable (48 of 64 bits, 25%
+// margin) and period maxHist is not (2*maxHist bits needed).
+func oracleTAGEHistory(mk core.ConfigFactory, maxHist int) error {
+	learnP, collapseP := maxHist*3/8, maxHist
+	warm, insts := int64(40_000), budget(80_000)
+
+	for _, pt := range []struct {
+		period   int
+		maxRate  float64 // mispredicts per period, upper bound
+		minRate  float64 // mispredicts per period, lower bound
+		expected string
+	}{
+		{learnP, 0.10, 0, "learnable"},
+		{collapseP, 3, 0.5, "collapsed"},
+	} {
+		res, iter, err := runProbePoint("tage-history", pt.period, warm, insts, mk)
+		if err != nil {
+			return err
+		}
+		periods := float64(insts) / float64(iter) / float64(pt.period)
+		rate := float64(res.BrMispredicts) / periods
+		if rate > pt.maxRate || rate < pt.minRate {
+			return fmt.Errorf("tage-history/%d (maxHist %d, %s): %.3f mispredicts/period, want in [%.2f, %.2f]",
+				pt.period, maxHist, pt.expected, rate, pt.minRate, pt.maxRate)
+		}
+	}
+	return nil
+}
+
+// oracleTAGECapacity checks the tage-capacity cliff sits at the tagged
+// components' total entry count: each probe branch needs ~16 tagged
+// entries (one per phase of its balanced period-16 pattern), so demand
+// is 16*branches entries against numComps*compEntries capacity.
+func oracleTAGECapacity(mk core.ConfigFactory, compEntries, numComps int) error {
+	capacity := compEntries * numComps
+	underB, overB := capacity/32, capacity/4 // 1/2x and 4x the capacity in contexts
+
+	for _, pt := range []struct {
+		branches         int
+		maxRate, minRate float64 // mispredicts per branch per iteration
+		expected         string
+	}{
+		{underB, 0.05, 0, "fits"},
+		{overB, 1, 0.15, "thrashes"},
+	} {
+		warm, insts := int64(40_000), budget(60_000)
+		res, iter, err := runProbePoint("tage-capacity", pt.branches, warm, insts, mk)
+		if err != nil {
+			return err
+		}
+		iters := float64(insts) / float64(iter)
+		rate := float64(res.BrMispredicts) / iters / float64(pt.branches)
+		if rate > pt.maxRate || rate < pt.minRate {
+			return fmt.Errorf("tage-capacity/%d (capacity %d entries, %s): %.3f mispredicts/branch/iteration, want in [%.2f, %.2f]",
+				pt.branches, capacity, pt.expected, rate, pt.minRate, pt.maxRate)
+		}
+	}
+	return nil
+}
+
+// oracleTAGEDilution checks the dilution cliff tracks history length,
+// not capacity: the period-8 victim's taken phase is identified by the
+// *absence* of its taken bit over seven full iterations of history, so
+// it survives while 7*(decoys+2)+1 <= maxHist and collapses to one
+// mispredict per 8 iterations past it.
+func oracleTAGEDilution(mk core.ConfigFactory, maxHist int) error {
+	learnD := maxHist/14 - 1     // 7*(d+2) ~ maxHist/2
+	collapseD := maxHist * 2 / 7 // 7*(d+2) ~ 2*maxHist
+
+	for _, pt := range []struct {
+		decoys           int
+		maxRate, minRate float64 // mispredicts per iteration
+		expected         string
+	}{
+		{learnD, 0.03, 0, "victim survives"},
+		{collapseD, 0.6, 0.08, "victim lost"},
+	} {
+		warm, insts := int64(40_000), budget(60_000)
+		res, iter, err := runProbePoint("tage-dilution", pt.decoys, warm, insts, mk)
+		if err != nil {
+			return err
+		}
+		iters := float64(insts) / float64(iter)
+		rate := float64(res.BrMispredicts) / iters
+		if rate > pt.maxRate || rate < pt.minRate {
+			return fmt.Errorf("tage-dilution/%d (maxHist %d, %s): %.3f mispredicts/iteration, want in [%.2f, %.2f]",
+				pt.decoys, maxHist, pt.expected, rate, pt.minRate, pt.maxRate)
+		}
+	}
+	return nil
+}
+
+// oracleVPStride checks D-VTAGE's partial-stride cliff: a constant
+// stride is predicted (essentially perfectly once confidence warms)
+// while it fits the signed strideBits range, and collapses to zero
+// coverage one power of two past it — the truncated stride is stored as
+// zero and every prediction misses.
+func oracleVPStride(mk core.ConfigFactory, strideBits int) error {
+	fit := 3 << (strideBits - 3) // 3/4 of the positive range
+	overflow := 1 << strideBits  // 2x past the range
+
+	warm, insts := int64(60_000), budget(80_000)
+	res, _, err := runProbePoint("vp-stride", fit, warm, insts, mk)
+	if err != nil {
+		return err
+	}
+	if cov := res.VP.Coverage(); cov < 0.5 {
+		return fmt.Errorf("vp-stride/%d (strideBits %d, fits): coverage %.3f, want >= 0.5", fit, strideBits, cov)
+	}
+	if acc := res.VP.Accuracy(); acc < 0.99 {
+		return fmt.Errorf("vp-stride/%d (strideBits %d, fits): accuracy %.4f, want >= 0.99", fit, strideBits, acc)
+	}
+	res, _, err = runProbePoint("vp-stride", overflow, warm, insts, mk)
+	if err != nil {
+		return err
+	}
+	if cov := res.VP.Coverage(); cov > 0.05 {
+		return fmt.Errorf("vp-stride/%d (strideBits %d, overflows): coverage %.3f, want <= 0.05", overflow, strideBits, cov)
+	}
+	return nil
+}
+
+// oracleVPHistory checks the sawtooth cliff tracks the longest D-VTAGE
+// tagged history: the jump phase is identified by a marker bit 2*period-1
+// history bits back, so period 8 is learnable under the standard 64-bit
+// longest component while period 96 (191 bits) aliases with the deep
+// ramp phases and coverage decays toward (maxLen/2+1)/period.
+func oracleVPHistory(mk core.ConfigFactory, maxLen int) error {
+	learnP := (maxLen/2 + 1) / 4 // 2P-1 at ~1/4 of the longest history
+	collapseP := maxLen*3/2      // 2P-1 at 3x the longest history
+
+	warm, insts := int64(150_000), budget(250_000)
+	res, _, err := runProbePoint("vp-history", learnP, warm, insts, mk)
+	if err != nil {
+		return err
+	}
+	if cov := res.VP.Coverage(); cov < 0.5 {
+		return fmt.Errorf("vp-history/%d (maxLen %d, learnable): coverage %.3f, want >= 0.5", learnP, maxLen, cov)
+	}
+	res, _, err = runProbePoint("vp-history", collapseP, warm, insts, mk)
+	if err != nil {
+		return err
+	}
+	if cov := res.VP.Coverage(); cov > 0.40 {
+		return fmt.Errorf("vp-history/%d (maxLen %d, collapsed): coverage %.3f, want <= 0.40", collapseP, maxLen, cov)
+	}
+	return nil
+}
+
+// oracleVPCapacity checks last-value-table reach: with N direct-mapped
+// base entries, a working set of M constant-value blocks keeps roughly
+// the collision-free fraction (~e^(-M/N)) covered, so M = N/8 stays
+// high and M = 16N collapses to ~0.
+func oracleVPCapacity(mk core.ConfigFactory, baseEntries int) error {
+	under, over := baseEntries/8, baseEntries*16
+
+	warm, insts := int64(60_000), budget(60_000)
+	res, _, err := runProbePoint("vp-capacity", under, warm, insts, mk)
+	if err != nil {
+		return err
+	}
+	if cov := res.VP.Coverage(); cov < 0.6 {
+		return fmt.Errorf("vp-capacity/%d (lvt %d, fits): coverage %.3f, want >= 0.6", under, baseEntries, cov)
+	}
+	warm, insts = int64(80_000), budget(80_000)
+	res, _, err = runProbePoint("vp-capacity", over, warm, insts, mk)
+	if err != nil {
+		return err
+	}
+	if cov := res.VP.Coverage(); cov > 0.05 {
+		return fmt.Errorf("vp-capacity/%d (lvt %d, thrashes): coverage %.3f, want <= 0.05", over, baseEntries, cov)
+	}
+	return nil
+}
+
+// oracleVPLVS checks the forward-probabilistic-counter design point:
+// ~129 expected correct predictions to saturate confidence. Values
+// stable for runs of 16 never reach confidence (coverage ~0); runs of
+// 2048 spend most of each run confident and nearly always correct.
+func oracleVPLVS(mk core.ConfigFactory) error {
+	warm, insts := int64(40_000), budget(60_000)
+	res, _, err := runProbePoint("vp-lvs", 16, warm, insts, mk)
+	if err != nil {
+		return err
+	}
+	if cov := res.VP.Coverage(); cov > 0.05 {
+		return fmt.Errorf("vp-lvs/16 (below FPC threshold): coverage %.3f, want <= 0.05", cov)
+	}
+	warm, insts = int64(60_000), budget(100_000)
+	res, _, err = runProbePoint("vp-lvs", 2048, warm, insts, mk)
+	if err != nil {
+		return err
+	}
+	if cov := res.VP.Coverage(); cov < 0.7 {
+		return fmt.Errorf("vp-lvs/2048 (above FPC threshold): coverage %.3f, want >= 0.7", cov)
+	}
+	if acc := res.VP.Accuracy(); acc < 0.99 {
+		return fmt.Errorf("vp-lvs/2048: accuracy %.4f, want >= 0.99", acc)
+	}
+	return nil
+}
+
+// oracleBeBoPBlock checks block-aliasing pressure on the per-entry slot
+// count: a block packing exactly npred eligible µ-ops is fully covered;
+// one packing 2*npred can never attribute more than npred slots, so
+// coverage is pinned near npred/uops.
+func oracleBeBoPBlock(mk core.ConfigFactory, npred int) error {
+	warm, insts := int64(40_000), budget(60_000)
+	res, _, err := runProbePoint("bebop-block", npred, warm, insts, mk)
+	if err != nil {
+		return err
+	}
+	if cov := res.VP.Coverage(); cov < 0.9 {
+		return fmt.Errorf("bebop-block/%d (fits npred %d): coverage %.3f, want >= 0.9", npred, npred, cov)
+	}
+	spill := 2 * npred
+	if spill > 8 {
+		spill = 8
+	}
+	want := float64(npred) / float64(spill)
+	res, _, err = runProbePoint("bebop-block", spill, warm, insts, mk)
+	if err != nil {
+		return err
+	}
+	if cov := res.VP.Coverage(); cov < want-0.1 || cov > want+0.05 {
+		return fmt.Errorf("bebop-block/%d (spills npred %d): coverage %.3f, want ~%.2f", spill, npred, cov, want)
+	}
+	return nil
+}
+
+// --- the suite -------------------------------------------------------
+
+func TestProbeOracleTAGEHistory(t *testing.T) {
+	t.Parallel()
+	if err := oracleTAGEHistory(tageFactory(64), 64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeOracleTAGECapacity(t *testing.T) {
+	t.Parallel()
+	if err := oracleTAGECapacity(smallTAGEFactory(64, 4), 64, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeOracleTAGEDilution(t *testing.T) {
+	t.Parallel()
+	if err := oracleTAGEDilution(tageFactory(64), 64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeOracleVPStride(t *testing.T) {
+	t.Parallel()
+	if err := oracleVPStride(bebopFactory(6, 256, 8), 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeOracleVPHistory(t *testing.T) {
+	t.Parallel()
+	// BlockConfig's tagged components use histories {2,4,8,16,32,64}.
+	if err := oracleVPHistory(bebopFactory(6, 256, 8), 64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeOracleVPCapacity(t *testing.T) {
+	t.Parallel()
+	if err := oracleVPCapacity(bebopFactory(6, 64, 8), 64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeOracleVPLVS(t *testing.T) {
+	t.Parallel()
+	if err := oracleVPLVS(bebopFactory(6, 256, 8)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeOracleBeBoPBlock(t *testing.T) {
+	t.Parallel()
+	if err := oracleBeBoPBlock(bebopFactory(4, 256, 8), 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProbeOracleDetectsBrokenGeometry is the suite's own validity
+// check: each oracle is run against a predictor whose geometry was
+// deliberately broken relative to what the oracle was told, and MUST
+// return an error — the cliff has moved, and an oracle that cannot see
+// that would also miss a real regression.
+func TestProbeOracleDetectsBrokenGeometry(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name  string
+		check func() error
+	}{
+		{
+			// TAGE's longest history halved: the learnable period's marker
+			// bit (48 bits back) no longer fits 32 bits of history.
+			name:  "tage-history-halved-maxhist",
+			check: func() error { return oracleTAGEHistory(tageFactory(32), 64) },
+		},
+		{
+			// Stride width halved: the fitting stride (96) overflows a
+			// 4-bit signed stride and is stored as zero.
+			name:  "vp-stride-halved-stridebits",
+			check: func() error { return oracleVPStride(bebopFactory(6, 256, 4), 8) },
+		},
+		{
+			// Prediction slots halved: a block packing 4 eligible µ-ops
+			// can only ever cover 2 of them.
+			name:  "bebop-block-halved-npred",
+			check: func() error { return oracleBeBoPBlock(bebopFactory(2, 256, 8), 4) },
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			err := tc.check()
+			if err == nil {
+				t.Fatal("oracle passed against deliberately broken geometry; the cliff assertions are not binding")
+			}
+			t.Logf("oracle correctly rejected broken geometry: %v", err)
+		})
+	}
+}

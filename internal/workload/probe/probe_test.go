@@ -1,0 +1,235 @@
+package probe
+
+import (
+	"testing"
+
+	"bebop/internal/isa"
+)
+
+// drain pulls n instructions from a fresh stream of src.
+func drain(t *testing.T, f Family, pressure int, n int64) []isa.Inst {
+	t.Helper()
+	src, err := f.Source(pressure)
+	if err != nil {
+		t.Fatalf("%s/%d: %v", f.Name, pressure, err)
+	}
+	st, err := src.Open(n)
+	if err != nil {
+		t.Fatalf("%s/%d: open: %v", f.Name, pressure, err)
+	}
+	out := make([]isa.Inst, 0, n)
+	var in isa.Inst
+	for st.Next(&in) {
+		out = append(out, in)
+	}
+	if int64(len(out)) != n {
+		t.Fatalf("%s/%d: stream ended after %d insts, want %d", f.Name, pressure, len(out), n)
+	}
+	return out
+}
+
+// TestGridBuildsAndParses compiles every (family, default-grid pressure)
+// point, checks the canonical name round-trips through FromName, and
+// that the stream is well-formed: one µ-op per instruction, legal sizes,
+// unconditional jumps always taken, and control flow that actually loops
+// back to the first PC.
+func TestGridBuildsAndParses(t *testing.T) {
+	for _, f := range Families() {
+		for _, p := range f.Grid {
+			name := SourceName(f.Name, p)
+			src, err := FromName(name)
+			if err != nil {
+				t.Fatalf("FromName(%q): %v", name, err)
+			}
+			if src.Name() != name {
+				t.Fatalf("source name %q, want %q", src.Name(), name)
+			}
+			iter, err := f.IterationInsts(p)
+			if err != nil {
+				t.Fatalf("%s: IterationInsts: %v", name, err)
+			}
+			insts := drain(t, f, p, int64(2*iter+2))
+			first := insts[0].PC
+			looped := false
+			for i := range insts {
+				in := &insts[i]
+				if in.Size < 1 || in.Size > isa.MaxInstBytes {
+					t.Fatalf("%s: inst at %#x has size %d", name, in.PC, in.Size)
+				}
+				if in.NumUOps != 1 {
+					t.Fatalf("%s: inst at %#x has %d µ-ops", name, in.PC, in.NumUOps)
+				}
+				if in.Kind == isa.BranchDirect && !in.Taken {
+					t.Fatalf("%s: direct jump at %#x not taken", name, in.PC)
+				}
+				if i > 0 && in.PC == first {
+					looped = true
+				}
+				if i > 0 {
+					prev := &insts[i-1]
+					if in.PC != prev.NextPC() {
+						t.Fatalf("%s: PC %#x does not follow %#x (next %#x)",
+							name, in.PC, prev.PC, prev.NextPC())
+					}
+				}
+			}
+			if !looped {
+				t.Fatalf("%s: stream never looped back to %#x in %d insts", name, first, len(insts))
+			}
+		}
+	}
+}
+
+// TestDeterministic verifies successive Opens yield identical streams —
+// the property that makes probe results cacheable by workload name.
+func TestDeterministic(t *testing.T) {
+	for _, f := range Families() {
+		p := f.Grid[len(f.Grid)/2]
+		a := drain(t, f, p, 2000)
+		b := drain(t, f, p, 2000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s/%d: inst %d differs between opens:\n%+v\n%+v",
+					f.Name, p, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestFromNameErrors checks malformed probe names fail with actionable
+// errors instead of panicking or silently defaulting.
+func TestFromNameErrors(t *testing.T) {
+	for _, name := range []string{
+		"gzip",                 // not a probe name
+		"probe/tage-history",   // missing pressure
+		"probe/nope/8",         // unknown family
+		"probe/tage-history/x", // non-integer pressure
+		"probe/tage-history/0", // pressure below the family minimum
+		"probe/bebop-block/9",  // more µ-ops than fit a fetch block
+	} {
+		if _, err := FromName(name); err == nil {
+			t.Fatalf("FromName(%q) accepted", name)
+		}
+	}
+}
+
+// TestTAGEHistoryPattern checks the probe branch is taken exactly once
+// per period — the invariant the oracle's cliff math rests on.
+func TestTAGEHistoryPattern(t *testing.T) {
+	const period = 8
+	f, _ := Lookup("tage-history")
+	insts := drain(t, f, period, 2*period*64)
+	taken := 0
+	seen := 0
+	for i := range insts {
+		if insts[i].Kind != isa.BranchCond {
+			continue
+		}
+		seen++
+		if insts[i].Taken {
+			taken++
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no conditional branches in tage-history stream")
+	}
+	if want := seen / period; taken != want {
+		t.Fatalf("probe branch taken %d times in %d occurrences, want %d", taken, seen, want)
+	}
+}
+
+// TestVPStrideValues checks the vp-stride value really advances by the
+// configured stride, and that PrevValue oracle metadata is filled.
+func TestVPStrideValues(t *testing.T) {
+	const stride = 120
+	f, _ := Lookup("vp-stride")
+	iter, err := f.IterationInsts(stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := drain(t, f, stride, int64(16*iter))
+	var vals []uint64
+	for i := range insts {
+		u := &insts[i].UOps[0]
+		if insts[i].Kind != isa.BranchNone || !u.Eligible() {
+			continue // branches and block-padding nops
+		}
+		if len(vals) > 0 {
+			if !u.HasPrev || u.PrevValue != vals[len(vals)-1] {
+				t.Fatalf("occurrence %d: PrevValue %#x (has=%v), want %#x",
+					len(vals), u.PrevValue, u.HasPrev, vals[len(vals)-1])
+			}
+		}
+		vals = append(vals, u.Value)
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i]-vals[i-1] != stride {
+			t.Fatalf("occurrence %d: delta %d, want %d", i, vals[i]-vals[i-1], stride)
+		}
+	}
+}
+
+// TestVPHistorySawtooth checks the vp-history value cycles with exactly
+// the configured period.
+func TestVPHistorySawtooth(t *testing.T) {
+	const period = 16
+	f, _ := Lookup("vp-history")
+	iter, err := f.IterationInsts(period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := drain(t, f, period, int64(3*period*iter))
+	var vals []uint64
+	for i := range insts {
+		if insts[i].Kind == isa.BranchNone && insts[i].UOps[0].Eligible() {
+			vals = append(vals, insts[i].UOps[0].Value)
+		}
+	}
+	if len(vals) < 2*period {
+		t.Fatalf("only %d value occurrences", len(vals))
+	}
+	for i := period; i < len(vals); i++ {
+		if vals[i] != vals[i-period] {
+			t.Fatalf("value at occurrence %d (%#x) != occurrence %d (%#x): period broken",
+				i, vals[i], i-period, vals[i-period])
+		}
+		if i%period != 0 && vals[i] != vals[i-1]+1 {
+			t.Fatalf("occurrence %d: value %#x does not continue the +1 ramp from %#x",
+				i, vals[i], vals[i-1])
+		}
+	}
+}
+
+// TestBeBoPBlockPacking checks all bebop-block value instructions share
+// one fetch block — the premise of the NPred attribution cliff.
+func TestBeBoPBlockPacking(t *testing.T) {
+	const uops = 8
+	f, _ := Lookup("bebop-block")
+	insts := drain(t, f, uops, 64)
+	blocks := map[uint64]int{}
+	for i := range insts {
+		if insts[i].Kind == isa.BranchNone && insts[i].UOps[0].Eligible() {
+			blocks[isa.BlockPC(insts[i].PC)]++
+		}
+	}
+	if len(blocks) != 1 {
+		t.Fatalf("value instructions span %d fetch blocks, want 1 (%v)", len(blocks), blocks)
+	}
+}
+
+// TestVPCapacityDistinctBlocks checks vp-capacity spreads its values
+// over exactly <blocks> distinct fetch blocks.
+func TestVPCapacityDistinctBlocks(t *testing.T) {
+	const blocks = 64
+	f, _ := Lookup("vp-capacity")
+	insts := drain(t, f, blocks, 3*(blocks+1))
+	seen := map[uint64]bool{}
+	for i := range insts {
+		if insts[i].Kind == isa.BranchNone && insts[i].UOps[0].Eligible() {
+			seen[isa.BlockPC(insts[i].PC)] = true
+		}
+	}
+	if len(seen) != blocks {
+		t.Fatalf("values span %d fetch blocks, want %d", len(seen), blocks)
+	}
+}

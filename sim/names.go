@@ -8,6 +8,7 @@ import (
 	"bebop/internal/trace"
 	"bebop/internal/util"
 	"bebop/internal/workload"
+	"bebop/internal/workload/probe"
 )
 
 // UnknownNameError is returned whenever a user-supplied name — workload,
@@ -22,7 +23,8 @@ func Workloads() []string { return workload.Names() }
 // WorkloadInfo describes one catalog workload for listings.
 type WorkloadInfo struct {
 	Name string `json:"name"`
-	// Kind is "synthetic" for Table II profiles, "trace" for .bbt files.
+	// Kind is "synthetic" for Table II profiles, "trace" for .bbt files,
+	// "probe" for geometry-probing workloads.
 	Kind string `json:"kind"`
 	// Suite, INT and PaperIPC describe synthetic profiles (Table II).
 	Suite    string  `json:"suite,omitempty"`
@@ -30,10 +32,17 @@ type WorkloadInfo struct {
 	PaperIPC float64 `json:"paper_ipc,omitempty"`
 	// Path locates a trace workload's .bbt file.
 	Path string `json:"path,omitempty"`
+	// Axis and Pressure describe probe workloads: the family's pressure
+	// knob and this point's value on it (see ProbeFamilies).
+	Axis     string `json:"axis,omitempty"`
+	Pressure int    `json:"pressure,omitempty"`
 }
 
 // ListWorkloads describes the full workload catalog: the 36 synthetic
-// profiles plus, when traceDir is non-empty, the .bbt traces found there.
+// profiles, the probe families' default-grid points, plus, when traceDir
+// is non-empty, the .bbt traces found there. Probe workloads beyond the
+// default grids are also runnable — any "probe/<family>/<pressure>" name
+// is accepted — but only grid points are listed.
 func ListWorkloads(traceDir string) ([]WorkloadInfo, error) {
 	cat, err := trace.Catalog(traceDir)
 	if err != nil {
@@ -52,6 +61,14 @@ func ListWorkloads(traceDir string) ([]WorkloadInfo, error) {
 			out = append(out, WorkloadInfo{Name: name, Kind: "trace", Path: s.Path})
 		default:
 			out = append(out, WorkloadInfo{Name: name, Kind: "unknown"})
+		}
+	}
+	for _, f := range probe.Families() {
+		for _, p := range f.Grid {
+			out = append(out, WorkloadInfo{
+				Name: probe.SourceName(f.Name, p), Kind: "probe",
+				Axis: f.Axis, Pressure: p,
+			})
 		}
 	}
 	return out, nil

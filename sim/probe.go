@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"bebop/internal/workload/probe"
+)
+
+// ProbeFamily describes one adversarial geometry-probing workload
+// family. Probe workloads are named "probe/<family>/<pressure>" and are
+// accepted anywhere a catalog workload name is: RunSpec.Workload,
+// WithWorkload, and POST /v1/runs. The pressure is a free integer — the
+// Grid lists the default sweep points advertised by ListWorkloads.
+//
+// Each family is built so its accuracy-vs-pressure curve cliffs exactly
+// where the configured predictor geometry says it must (TAGE history
+// length and capacity, D-VTAGE stride width, history depth and table
+// reach, BeBoP's per-block prediction slots); see the "Probing predictor
+// geometry" section of the README.
+type ProbeFamily struct {
+	// Name identifies the family, e.g. "tage-history".
+	Name string `json:"name"`
+	// Axis names the pressure knob, e.g. "period" or "blocks".
+	Axis string `json:"axis"`
+	// Doc is a one-line description of what the family stresses.
+	Doc string `json:"doc"`
+	// Grid is the default pressure sweep, in increasing order.
+	Grid []int `json:"grid"`
+}
+
+// ProbeFamilies lists the probe workload families in canonical order.
+func ProbeFamilies() []ProbeFamily {
+	fams := probe.Families()
+	out := make([]ProbeFamily, len(fams))
+	for i, f := range fams {
+		grid := make([]int, len(f.Grid))
+		copy(grid, f.Grid)
+		out[i] = ProbeFamily{Name: f.Name, Axis: f.Axis, Doc: f.Doc, Grid: grid}
+	}
+	return out
+}
+
+// ProbeWorkloadName formats the canonical probe workload name for one
+// (family, pressure) point, e.g. ProbeWorkloadName("tage-history", 32)
+// == "probe/tage-history/32".
+func ProbeWorkloadName(family string, pressure int) string {
+	return probe.SourceName(family, pressure)
+}

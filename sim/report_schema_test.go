@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// TestReportSchemaGolden pins the Report v1 JSON wire format: the full
+// set of key paths a fully-populated Report emits, in testdata/
+// report_schema_v1.golden. Reports are consumed outside this repo
+// (result files, bebop-serve clients), so adding, renaming or removing
+// a field is a schema change: it must fail here first, and shipping it
+// means bumping ReportSchemaVersion and regenerating the golden with
+// `go test ./sim -run TestReportSchemaGolden -update`.
+func TestReportSchemaGolden(t *testing.T) {
+	var rep Report
+	fillValue(reflect.ValueOf(&rep).Elem())
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	collectPaths("", decoded, &paths)
+	sort.Strings(paths)
+	got := strings.Join(paths, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "report_schema_v1.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("Report JSON schema changed — if intended, bump ReportSchemaVersion and regenerate with -update.\ndiff (got vs %s):\n%s",
+			golden, pathDiff(got, string(want)))
+	}
+}
+
+// TestReportSchemaSnakeCase checks every sim-owned JSON key is
+// snake_case. The spec.profile subtree is exempt: workload.Profile
+// (re-exported as sim.Profile) marshals with Go field names, and that
+// encoding is pinned by the golden above.
+func TestReportSchemaSnakeCase(t *testing.T) {
+	var rep Report
+	fillValue(reflect.ValueOf(&rep).Elem())
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	collectPaths("", decoded, &paths)
+	snake := regexp.MustCompile(`^[a-z0-9_]+$`)
+	for _, p := range paths {
+		if strings.HasPrefix(p, "spec.profile.") {
+			continue
+		}
+		for _, seg := range strings.Split(p, ".") {
+			if seg != "[]" && !snake.MatchString(seg) {
+				t.Errorf("JSON key %q in path %q is not snake_case", seg, p)
+			}
+		}
+	}
+}
+
+// fillValue sets every exported field reachable from v to a non-zero
+// value, so omitempty fields still appear in the marshaled JSON and the
+// golden pins the complete field set (a newly added field changes the
+// output without any test edit).
+func fillValue(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.String:
+		v.SetString("x")
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(1)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(1)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(1.5)
+	case reflect.Pointer:
+		v.Set(reflect.New(v.Type().Elem()))
+		fillValue(v.Elem())
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if f := v.Field(i); f.CanSet() {
+				fillValue(f)
+			}
+		}
+	case reflect.Slice:
+		v.Set(reflect.MakeSlice(v.Type(), 1, 1))
+		fillValue(v.Index(0))
+	case reflect.Map:
+		v.Set(reflect.MakeMap(v.Type()))
+		key := reflect.New(v.Type().Key()).Elem()
+		val := reflect.New(v.Type().Elem()).Elem()
+		fillValue(key)
+		fillValue(val)
+		v.SetMapIndex(key, val)
+	}
+}
+
+// collectPaths flattens decoded JSON into dotted key paths ("vp.used",
+// "spec.bebop.npred"); array elements contribute a "[]" segment.
+func collectPaths(prefix string, v any, out *[]string) {
+	switch val := v.(type) {
+	case map[string]any:
+		for k, child := range val {
+			path := k
+			if prefix != "" {
+				path = prefix + "." + k
+			}
+			*out = append(*out, path)
+			collectPaths(path, child, out)
+		}
+	case []any:
+		if len(val) > 0 {
+			collectPaths(prefix+".[]", val[0], out)
+		}
+	}
+}
+
+// pathDiff renders the set difference between two newline-separated
+// path lists, so a schema failure names the exact keys that moved.
+func pathDiff(got, want string) string {
+	gotSet := map[string]bool{}
+	for _, p := range strings.Split(strings.TrimSpace(got), "\n") {
+		gotSet[p] = true
+	}
+	wantSet := map[string]bool{}
+	for _, p := range strings.Split(strings.TrimSpace(want), "\n") {
+		wantSet[p] = true
+	}
+	var b strings.Builder
+	for p := range gotSet {
+		if !wantSet[p] {
+			b.WriteString("+ " + p + "\n")
+		}
+	}
+	for p := range wantSet {
+		if !gotSet[p] {
+			b.WriteString("- " + p + "\n")
+		}
+	}
+	if b.Len() == 0 {
+		return "(ordering difference only)"
+	}
+	return b.String()
+}

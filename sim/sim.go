@@ -41,6 +41,7 @@ import (
 	"bebop/internal/trace"
 	"bebop/internal/util"
 	"bebop/internal/workload"
+	"bebop/internal/workload/probe"
 )
 
 // Sim is a configured simulation, built with New. The zero value is not
@@ -167,6 +168,8 @@ func sourceFor(spec RunSpec, cat *workload.Catalog) (workload.Source, error) {
 		return trace.NewFileSource(spec.Trace), nil
 	case spec.Profile != nil:
 		return workload.ProfileSource{Prof: *spec.Profile}, nil
+	case probe.IsProbeName(spec.Workload):
+		return probe.FromName(spec.Workload)
 	default:
 		if cat == nil {
 			var err error

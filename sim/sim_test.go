@@ -369,8 +369,22 @@ func TestNamesAndVersion(t *testing.T) {
 		t.Fatalf("Workloads() = %d names, want 36", len(Workloads()))
 	}
 	infos, err := ListWorkloads("")
-	if err != nil || len(infos) != 36 || infos[0].Kind != "synthetic" {
+	if err != nil || len(infos) <= 36 || infos[0].Kind != "synthetic" {
 		t.Fatalf("ListWorkloads: %v, %d", err, len(infos))
+	}
+	probes := 0
+	for _, info := range infos {
+		if info.Kind == "probe" {
+			probes++
+		}
+	}
+	var gridPoints int
+	for _, f := range ProbeFamilies() {
+		gridPoints += len(f.Grid)
+	}
+	if probes != gridPoints || len(infos) != 36+gridPoints {
+		t.Fatalf("ListWorkloads lists %d probe workloads (of %d total), want %d grid points",
+			probes, len(infos), gridPoints)
 	}
 	for _, set := range [][]string{Configs(), Predictors(), InstPredictors(), BeBoPConfigs(), Policies(), Experiments(), Formats()} {
 		if len(set) == 0 {

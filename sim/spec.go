@@ -15,6 +15,7 @@ import (
 	"bebop/internal/trace"
 	"bebop/internal/util"
 	"bebop/internal/workload"
+	"bebop/internal/workload/probe"
 )
 
 // RunSpecSchemaVersion is the current RunSpec schema. Specs written by
@@ -230,7 +231,14 @@ func (s RunSpec) validate() (RunSpec, *workload.Catalog, error) {
 		return RunSpec{}, nil, fmt.Errorf("sim: %w: inline profile needs a name", ErrInvalidSpec)
 	}
 	var cat *workload.Catalog
-	if out.Workload != "" {
+	switch {
+	case probe.IsProbeName(out.Workload):
+		// Probe workloads are synthesized from their name, not looked up
+		// in the catalog: any "probe/<family>/<pressure>" is accepted.
+		if _, err := probe.FromName(out.Workload); err != nil {
+			return RunSpec{}, nil, fmt.Errorf("sim: %w: %w", ErrInvalidSpec, err)
+		}
+	case out.Workload != "":
 		var err error
 		if cat, err = trace.Catalog(out.TraceDir); err != nil {
 			return RunSpec{}, nil, err

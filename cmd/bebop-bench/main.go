@@ -71,22 +71,34 @@ func main() {
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "config\tbench\tmode\tinsts/s\tµops/s\tallocs/kinst\tKB\twall")
+	fmt.Fprintln(tw, "config\tbench\tmode\tinsts/s\teffective/s\tallocs/kinst\tKB\twall")
 	for _, p := range rep.Points {
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%.0f\t%.0f\t%.2f\t%.0f\t%.3fs\n",
-			p.Config, p.Bench, p.Mode, p.InstsPerSec, p.UOpsPerSec,
+		eff := "-"
+		if p.EffectiveInstsPerSec > 0 {
+			eff = fmt.Sprintf("%.0f", p.EffectiveInstsPerSec)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.0f\t%s\t%.2f\t%.0f\t%.3fs\n",
+			p.Config, p.Bench, p.Mode, p.InstsPerSec, eff,
 			p.AllocsPerKInst, float64(p.Bytes)/1024, p.WallSeconds)
 	}
-	fmt.Fprintf(tw, "TOTAL\tgeomean %.0f\tgenerate\t%.0f\t%.0f\t%.2f\t%.0f\t%.3fs\n",
+	fmt.Fprintf(tw, "TOTAL\tgeomean %.0f\tgenerate\t%.0f\t-\t%.2f\t%.0f\t%.3fs\n",
 		rep.Totals.GeomeanInstsPerSec,
-		rep.Totals.InstsPerSec, rep.Totals.UOpsPerSec,
+		rep.Totals.InstsPerSec,
 		rep.Totals.AllocsPerKInst, float64(rep.Totals.Bytes)/1024,
 		rep.Totals.WallSeconds)
 	if rt := rep.ReplayTotals; rt != nil {
-		fmt.Fprintf(tw, "TOTAL\tgeomean %.0f\treplay\t%.0f\t%.0f\t%.2f\t%.0f\t%.3fs\n",
+		fmt.Fprintf(tw, "TOTAL\tgeomean %.0f\treplay\t%.0f\t-\t%.2f\t%.0f\t%.3fs\n",
 			rt.GeomeanInstsPerSec,
-			rt.InstsPerSec, rt.UOpsPerSec,
+			rt.InstsPerSec,
 			rt.AllocsPerKInst, float64(rt.Bytes)/1024, rt.WallSeconds)
+	}
+	if st := rep.SampledTotals; st != nil {
+		// The sampled geomean is over effective rates: represented budget
+		// per second of wall time.
+		fmt.Fprintf(tw, "TOTAL\tgeomean %.0f\tsampled\t%.0f\t(effective)\t%.2f\t%.0f\t%.3fs\n",
+			st.GeomeanInstsPerSec,
+			st.InstsPerSec,
+			st.AllocsPerKInst, float64(st.Bytes)/1024, st.WallSeconds)
 	}
 	tw.Flush()
 

@@ -7,10 +7,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"bebop/internal/trace"
+	"bebop/internal/workload"
 	"bebop/sim"
 )
 
@@ -118,6 +122,87 @@ func TestV1RunProbeWorkload(t *testing.T) {
 	resp, blob = postJSON(t, ts.URL+"/v1/runs", `{"workload":"probe/nope/16"}`)
 	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(blob), "vp-stride") {
 		t.Fatalf("bad probe name: status %d: %s", resp.StatusCode, blob)
+	}
+}
+
+// TestV1RunSampled checks sampled simulation over the REST API: the
+// sampling block rides inside the RunSpec, the response carries the
+// confidence interval, and with a server -trace-dir the checkpoint
+// side-file is built on the first request and reused by later ones —
+// the cross-request warmup amortization the side-file exists for.
+func TestV1RunSampled(t *testing.T) {
+	dir := t.TempDir()
+	recordServeTrace(t, filepath.Join(dir, "mcf-t"+trace.Ext), "mcf", 60_000)
+	ts := testServer(t, serverConfig{defaultInsts: 5_000, maxInsts: 100_000, traceDir: dir})
+
+	// Synthetic workload, no checkpoints.
+	body := `{"workload":"swim","config":"eole-bebop/Medium","insts":40000,
+		"sampling":{"intervals":4,"interval_insts":2000,"detail_warmup":500}}`
+	resp, blob := postJSON(t, ts.URL+"/v1/runs", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sampled run: status %d: %s", resp.StatusCode, blob)
+	}
+	var rep sim.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("response is not a sim.Report: %v\n%s", err, blob)
+	}
+	if rep.Sampling == nil || rep.Sampling.IPCCI95 <= 0 || len(rep.Sampling.IntervalIPCs) != 4 {
+		t.Fatalf("sampled report missing its confidence interval: %+v", rep.Sampling)
+	}
+	_, blob2 := postJSON(t, ts.URL+"/v1/runs", body)
+	if !bytes.Equal(blob, blob2) {
+		t.Fatalf("two sampled runs of the same spec differ:\n%s\n---\n%s", blob, blob2)
+	}
+
+	// Trace-dir workload with checkpoints: the first request pays for the
+	// warming pass and writes the side-file next to the trace.
+	ckBody := `{"workload":"mcf-t","config":"baseline","insts":40000,
+		"sampling":{"intervals":4,"interval_insts":2000,"detail_warmup":500,"checkpoints":true}}`
+	resp, blob = postJSON(t, ts.URL+"/v1/runs", ckBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpointed sampled run: status %d: %s", resp.StatusCode, blob)
+	}
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sampling == nil || rep.Sampling.CheckpointsUsed != 4 {
+		t.Fatalf("checkpoints not used: %+v", rep.Sampling)
+	}
+	ckPath := trace.CheckpointPath(filepath.Join(dir, "mcf-t"+trace.Ext), "Baseline_6_60")
+	if _, err := os.Stat(ckPath); err != nil {
+		t.Fatalf("checkpoint side-file not written into -trace-dir: %v", err)
+	}
+	// A later identical request restores from the side-file bit-identically.
+	_, blob2 = postJSON(t, ts.URL+"/v1/runs", ckBody)
+	if !bytes.Equal(blob, blob2) {
+		t.Fatalf("checkpoint reuse changed the response:\n%s\n---\n%s", blob, blob2)
+	}
+
+	// A sampling plan that does not fit the (possibly clamped) budget is a
+	// client error, like every other invalid spec.
+	resp, blob = postJSON(t, ts.URL+"/v1/runs",
+		`{"workload":"swim","insts":8000,"sampling":{"intervals":2,"interval_insts":8000}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized sampling plan: status %d, want 400 (%s)", resp.StatusCode, blob)
+	}
+}
+
+// recordServeTrace records a short synthetic trace for trace-dir tests.
+func recordServeTrace(t *testing.T, path, bench string, insts int64) {
+	t.Helper()
+	prof, ok := workload.ProfileByName(bench)
+	if !ok {
+		t.Fatalf("no profile %q", bench)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := trace.Record(f, workload.New(prof, insts), trace.WriterOptions{Name: bench}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -49,6 +49,12 @@ func main() {
 		"predictor for baseline-vp ("+strings.Join(sim.Predictors(), ", ")+
 			") or Table III config for eole-bebop ("+strings.Join(sim.BeBoPConfigs(), ", ")+")")
 	n := flag.Int64("n", 200_000, "dynamic instructions to simulate")
+	sample := flag.Bool("sample", false, "estimate the run by sampled simulation (SMARTS-style intervals with a 95% CI)")
+	sampleIntervals := flag.Int("sample-intervals", 0, "sampled: number of measurement intervals (0 = default 20)")
+	sampleInsts := flag.Int64("sample-insts", 0, "sampled: detailed instructions per interval (0 = n/(10*intervals))")
+	sampleWarmup := flag.Int64("sample-warmup", 0, "sampled: functional-warming instructions before each interval (0 = 8x interval)")
+	sampleDetail := flag.Int64("sample-detail", 0, "sampled: detailed-warmup instructions before measuring (0 = interval/4)")
+	sampleCkpt := flag.Bool("sample-checkpoints", false, "sampled: build/reuse the trace's checkpoint side-file (-trace only)")
 	probeFam := flag.String("probe", "", "sweep this probe family's pressure grid under -config (or 'list')")
 	specPath := flag.String("spec", "", "run this JSON RunSpec file (replaces the selection flags)")
 	printSpec := flag.Bool("print-spec", false, "print the normalized RunSpec as JSON and exit without running")
@@ -89,8 +95,18 @@ func main() {
 		return
 	}
 
+	var sampling *sim.SamplingSpec
+	if *sample {
+		sampling = &sim.SamplingSpec{
+			Intervals:     *sampleIntervals,
+			IntervalInsts: *sampleInsts,
+			Warmup:        *sampleWarmup,
+			DetailWarmup:  *sampleDetail,
+			Checkpoints:   *sampleCkpt,
+		}
+	}
 	spec, err := buildSpec(*specPath, *bench, *tracePath, *traceDir, *config, *pred, *n,
-		*npred, *base, *tagged, *stride, *win, *pol)
+		*npred, *base, *tagged, *stride, *win, *pol, sampling)
 	if err != nil {
 		fatal(err)
 	}
@@ -144,23 +160,32 @@ func main() {
 // buildSpec assembles the RunSpec from -spec or the selection flags.
 // Mixing both is an error: a spec file is the complete run description.
 func buildSpec(specPath, bench, tracePath, traceDir, config, pred string, n int64,
-	npred, base, tagged, stride, win int, pol string) (sim.RunSpec, error) {
+	npred, base, tagged, stride, win int, pol string, sampling *sim.SamplingSpec) (sim.RunSpec, error) {
 
 	selectionFlags := map[string]bool{
 		"bench": true, "trace": true, "trace-dir": true, "config": true,
 		"predictor": true, "n": true, "npred": true, "base": true,
 		"tagged": true, "stride": true, "win": true, "policy": true,
+		"sample": true, "sample-intervals": true, "sample-insts": true,
+		"sample-warmup": true, "sample-detail": true, "sample-checkpoints": true,
 	}
 	var conflicting []string
-	benchSet := false
+	benchSet, sampleSet := false, false
 	flag.Visit(func(f *flag.Flag) {
 		if selectionFlags[f.Name] {
 			conflicting = append(conflicting, "-"+f.Name)
 		}
-		if f.Name == "bench" {
+		switch f.Name {
+		case "bench":
 			benchSet = true
+		case "sample-intervals", "sample-insts", "sample-warmup",
+			"sample-detail", "sample-checkpoints":
+			sampleSet = true
 		}
 	})
+	if sampling == nil && sampleSet {
+		return sim.RunSpec{}, fmt.Errorf("the -sample-* knobs need -sample to enable sampled simulation")
+	}
 	if specPath != "" {
 		if len(conflicting) > 0 {
 			return sim.RunSpec{}, fmt.Errorf("-spec is a complete run description; drop %s (edit the spec file instead)",
@@ -190,6 +215,7 @@ func buildSpec(specPath, bench, tracePath, traceDir, config, pred string, n int6
 	} else {
 		spec.Config = config
 	}
+	spec.Sampling = sampling
 	return spec, nil
 }
 
@@ -258,7 +284,13 @@ func printReport(r sim.Report) {
 	fmt.Printf("cycles            %d\n", r.Cycles)
 	fmt.Printf("instructions      %d\n", r.Insts)
 	fmt.Printf("uops              %d\n", r.UOps)
-	fmt.Printf("IPC               %.3f\n", r.IPC)
+	if s := r.Sampling; s != nil {
+		fmt.Printf("IPC               %.3f ± %.3f (95%% CI, %d intervals x %d insts)\n",
+			s.IPCMean, s.IPCCI95, s.Intervals, s.IntervalInsts)
+		fmt.Printf("checkpoints used  %d\n", s.CheckpointsUsed)
+	} else {
+		fmt.Printf("IPC               %.3f\n", r.IPC)
+	}
 	fmt.Printf("uops/cycle        %.3f\n", r.UPC)
 	fmt.Printf("branch MPKI       %.2f\n", r.BranchMPKI)
 	fmt.Printf("L1D misses        %d (+%d MSHR merges)\n", r.L1DMisses, r.L1DMSHRMerges)

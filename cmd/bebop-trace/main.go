@@ -25,6 +25,7 @@ import (
 	"os"
 	"strings"
 
+	"bebop/internal/core"
 	"bebop/internal/isa"
 	"bebop/internal/trace"
 	"bebop/internal/util"
@@ -46,6 +47,8 @@ func main() {
 		err = cmdReplay(os.Args[2:])
 	case "info":
 		err = cmdInfo(os.Args[2:])
+	case "checkpoint":
+		err = cmdCheckpoint(os.Args[2:])
 	case "dump":
 		err = cmdDump(os.Args[2:])
 	case "version", "-version", "--version":
@@ -72,6 +75,7 @@ Subcommands:
   record   record a synthetic workload as a .bbt trace
   replay   run a processor from a .bbt trace and print the result
   info     print a trace's header and frame geometry
+  checkpoint  build a trace's warm-state checkpoint side-file for a config
   dump     list instructions or per-class totals (generator or trace)
   version  print version and exit
 
@@ -230,6 +234,68 @@ func cmdInfo(args []string) error {
 	fmt.Printf("uops         %d (%.2f µ-ops/inst)\n", h.UOps, ratio(h.UOps, h.Insts))
 	fmt.Printf("frames       %d\n", r.Frames())
 	fmt.Printf("bytes        %d (%.2f B/inst)\n", st.Size(), ratio(uint64(st.Size()), h.Insts))
+	return nil
+}
+
+// cmdCheckpoint builds the checkpoint side-file sampled runs restore
+// from: one continuous functional-warming pass over the trace, snapshots
+// taken at frame-aligned intervals, written next to the trace. Sampled
+// runs build the file on demand anyway (sim caches it transparently);
+// this subcommand pre-pays the pass, e.g. before handing a trace
+// directory to bebop-serve.
+func cmdCheckpoint(args []string) error {
+	fs := flag.NewFlagSet("bebop-trace checkpoint", flag.ExitOnError)
+	path := fs.String("trace", "", ".bbt trace to checkpoint (required)")
+	config := fs.String("config", "baseline", strings.Join(sim.Configs(), " | "))
+	pred := fs.String("predictor", "",
+		"predictor ("+strings.Join(sim.Predictors(), ", ")+") or Table III config")
+	every := fs.Int64("every", 0, "instructions between snapshots (0 = trace length / 64)")
+	fs.Parse(args)
+
+	if *path == "" {
+		return fmt.Errorf("checkpoint: -trace is required")
+	}
+	r, err := trace.OpenFile(*path)
+	if err != nil {
+		return err
+	}
+	hdr := r.Header()
+	r.Close()
+	upTo := int64(hdr.Insts)
+	if upTo == 0 {
+		return fmt.Errorf("checkpoint: %s has no instruction count", *path)
+	}
+	spacing := *every
+	if spacing <= 0 {
+		spacing = upTo / 64
+	}
+	if spacing < 1 {
+		spacing = 1
+	}
+	mk, err := core.NamedFactory(*config, *pred)
+	if err != nil {
+		return err
+	}
+	points, cfgName, err := core.BuildCheckpoints(trace.NewFileSource(*path), mk, spacing, upTo)
+	if err != nil {
+		return err
+	}
+	cf := &trace.CheckpointFile{
+		TraceName:  hdr.Name,
+		TraceInsts: upTo,
+		ConfigName: cfgName,
+		Points:     points,
+	}
+	out := trace.CheckpointPath(*path, cfgName)
+	if err := trace.WriteCheckpoints(out, cf); err != nil {
+		return err
+	}
+	st, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpointed %s for %s: %d snapshots every ~%d insts, %d bytes -> %s\n",
+		*path, cfgName, len(points), spacing, st.Size(), out)
 	return nil
 }
 

@@ -1,0 +1,177 @@
+package branch
+
+import (
+	"fmt"
+)
+
+// This file holds the checkpoint forms of the branch substrate. Every
+// snapshot struct has only exported plain-data fields so the aggregate
+// pipeline checkpoint can be serialized with encoding/gob, and every
+// Restore validates geometry: a checkpoint taken under one configuration
+// must never be silently poured into tables of another shape.
+
+// HistorySnapshot is the serializable form of a History: the raw
+// direction vector and the path register. Folded registers are a pure
+// function of the direction bits and are recomputed on restore.
+type HistorySnapshot struct {
+	Dir  [MaxHistoryBits / 64]uint64
+	Path uint64
+}
+
+// Checkpoint captures the history in serializable form. (Snapshot, which
+// returns a History value, is the in-run mispredict-recovery path; this
+// is the cross-run checkpoint path.)
+func (h *History) Checkpoint() HistorySnapshot {
+	return HistorySnapshot{Dir: h.dir, Path: h.path}
+}
+
+// RestoreCheckpoint overwrites the history from a checkpoint and
+// recomputes the folded registers from the restored bit vector.
+func (h *History) RestoreCheckpoint(s HistorySnapshot) {
+	h.dir = s.Dir
+	h.path = s.Path
+	if h.folds != nil {
+		h.folds.recompute(h)
+	}
+}
+
+// TAGECompSnapshot is the state of one tagged TAGE component.
+type TAGECompSnapshot struct {
+	Ctr    []int8
+	Tag    []uint16
+	Useful []uint8
+}
+
+// TAGESnapshot is the full serializable state of a TAGE predictor,
+// including the allocation RNG position and the stats counters (stats
+// are state too: a restored run must continue the counters it would
+// have had, or differential tests comparing Results would diverge).
+type TAGESnapshot struct {
+	Base       []int8
+	Comps      []TAGECompSnapshot
+	UseAltOnNA int8
+	Tick       int
+	RNGState   uint64
+	Lookups    uint64
+	Mispredicts uint64
+}
+
+// Snapshot deep-copies the predictor state.
+func (t *TAGE) Snapshot() *TAGESnapshot {
+	s := &TAGESnapshot{
+		Base:        append([]int8(nil), t.base...),
+		Comps:       make([]TAGECompSnapshot, len(t.comps)),
+		UseAltOnNA:  t.useAltOnNA,
+		Tick:        t.tick,
+		RNGState:    t.rng.State(),
+		Lookups:     t.Lookups,
+		Mispredicts: t.Mispredicts,
+	}
+	for i := range t.comps {
+		c := &t.comps[i]
+		s.Comps[i] = TAGECompSnapshot{
+			Ctr:    append([]int8(nil), c.ctr...),
+			Tag:    append([]uint16(nil), c.tag...),
+			Useful: append([]uint8(nil), c.useful...),
+		}
+	}
+	return s
+}
+
+// Restore overwrites the predictor from a snapshot. It errors (leaving
+// the predictor unchanged) when the snapshot geometry does not match.
+func (t *TAGE) Restore(s *TAGESnapshot) error {
+	if len(s.Base) != len(t.base) || len(s.Comps) != len(t.comps) {
+		return fmt.Errorf("branch: TAGE snapshot geometry mismatch: %d base/%d comps vs %d/%d",
+			len(s.Base), len(s.Comps), len(t.base), len(t.comps))
+	}
+	for i := range s.Comps {
+		if len(s.Comps[i].Ctr) != len(t.comps[i].ctr) ||
+			len(s.Comps[i].Tag) != len(t.comps[i].tag) ||
+			len(s.Comps[i].Useful) != len(t.comps[i].useful) {
+			return fmt.Errorf("branch: TAGE snapshot component %d size mismatch", i)
+		}
+	}
+	copy(t.base, s.Base)
+	for i := range t.comps {
+		copy(t.comps[i].ctr, s.Comps[i].Ctr)
+		copy(t.comps[i].tag, s.Comps[i].Tag)
+		copy(t.comps[i].useful, s.Comps[i].Useful)
+	}
+	t.useAltOnNA = s.UseAltOnNA
+	t.tick = s.Tick
+	t.rng.SetState(s.RNGState)
+	t.Lookups, t.Mispredicts = s.Lookups, s.Mispredicts
+	return nil
+}
+
+// BTBSnapshot is the serializable state of a BTB, entries flattened into
+// parallel arrays (the entry struct itself is unexported).
+type BTBSnapshot struct {
+	Valid   []bool
+	Tag     []uint64
+	Target  []uint64
+	LastUse []uint64
+	Clock   uint64
+	Lookups uint64
+	Hits    uint64
+}
+
+// Snapshot deep-copies the BTB state.
+func (b *BTB) Snapshot() *BTBSnapshot {
+	s := &BTBSnapshot{
+		Valid:   make([]bool, len(b.entries)),
+		Tag:     make([]uint64, len(b.entries)),
+		Target:  make([]uint64, len(b.entries)),
+		LastUse: make([]uint64, len(b.entries)),
+		Clock:   b.clock,
+		Lookups: b.Lookups,
+		Hits:    b.Hits,
+	}
+	for i := range b.entries {
+		e := &b.entries[i]
+		s.Valid[i], s.Tag[i], s.Target[i], s.LastUse[i] = e.valid, e.tag, e.target, e.lastUse
+	}
+	return s
+}
+
+// Restore overwrites the BTB from a snapshot, validating entry count.
+func (b *BTB) Restore(s *BTBSnapshot) error {
+	if len(s.Valid) != len(b.entries) || len(s.Tag) != len(b.entries) ||
+		len(s.Target) != len(b.entries) || len(s.LastUse) != len(b.entries) {
+		return fmt.Errorf("branch: BTB snapshot has %d entries, table has %d",
+			len(s.Valid), len(b.entries))
+	}
+	for i := range b.entries {
+		b.entries[i] = btbEntry{valid: s.Valid[i], tag: s.Tag[i], target: s.Target[i], lastUse: s.LastUse[i]}
+	}
+	b.clock = s.Clock
+	b.Lookups, b.Hits = s.Lookups, s.Hits
+	return nil
+}
+
+// RASSnapshot is the serializable state of a return address stack.
+type RASSnapshot struct {
+	Stack []uint64
+	Top   int
+	Depth int
+}
+
+// Snapshot deep-copies the RAS state.
+func (r *RAS) Snapshot() *RASSnapshot {
+	return &RASSnapshot{
+		Stack: append([]uint64(nil), r.stack...),
+		Top:   r.top,
+		Depth: r.depth,
+	}
+}
+
+// Restore overwrites the RAS from a snapshot, validating capacity.
+func (r *RAS) Restore(s *RASSnapshot) error {
+	if len(s.Stack) != len(r.stack) {
+		return fmt.Errorf("branch: RAS snapshot depth %d, stack sized %d", len(s.Stack), len(r.stack))
+	}
+	copy(r.stack, s.Stack)
+	r.top, r.depth = s.Top, s.Depth
+	return nil
+}

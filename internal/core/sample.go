@@ -1,0 +1,412 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"bebop/internal/isa"
+	"bebop/internal/pipeline"
+	"bebop/internal/util"
+	"bebop/internal/workload"
+)
+
+// SamplingParams configures SMARTS-style sampled simulation: instead of
+// simulating the whole measured region cycle-accurately, Intervals
+// evenly-spaced slices of IntervalInsts instructions each are measured
+// in detail, every long-lived structure having first been trained by
+// WarmupInsts of functional warming (plus DetailWarmup detailed but
+// unmeasured instructions to settle pipeline-occupancy transients).
+// Per-interval IPCs are reduced into a mean with a Student-t 95%
+// confidence interval.
+type SamplingParams struct {
+	// Intervals is the number of measurement intervals (≥ 2 — a single
+	// interval has no variance and therefore no confidence interval).
+	Intervals int
+	// IntervalInsts is the number of instructions measured per interval.
+	IntervalInsts int64
+	// WarmupInsts is the functional-warming window before each interval.
+	// Ignored for intervals served from a checkpoint, whose state embeds
+	// continuous warming from instruction 0.
+	WarmupInsts int64
+	// DetailWarmup is the number of detailed-but-unmeasured instructions
+	// run between warming and measurement.
+	DetailWarmup int64
+	// Checkpoints optionally serves pre-built microarchitectural
+	// snapshots (trace.CheckpointFile implements this); intervals restore
+	// the nearest one at or before their warming start instead of
+	// re-warming from scratch.
+	Checkpoints CheckpointSource
+	// Parallelism caps the worker count (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// CheckpointSource yields the snapshot with the largest instruction
+// offset ≤ inst, or nil when none qualifies.
+type CheckpointSource interface {
+	Nearest(inst int64) *pipeline.Checkpoint
+}
+
+// SampleStats reports the sampling reduction alongside the aggregate
+// pipeline.Result.
+type SampleStats struct {
+	Intervals       int
+	IntervalInsts   int64
+	WarmupInsts     int64
+	DetailWarmup    int64
+	CheckpointsUsed int
+	// IPCMean is the mean of per-interval IPCs (the SMARTS estimator);
+	// IPCCI95 is the 95% confidence half-width around it.
+	IPCMean   float64
+	IPCStdDev float64
+	IPCCI95   float64
+	// IntervalIPCs holds each interval's IPC in interval order.
+	IntervalIPCs []float64
+}
+
+// validate rejects parameter sets the measured region cannot hold.
+func (sp SamplingParams) validate(insts int64) error {
+	if sp.Intervals < 2 {
+		return fmt.Errorf("core: sampling needs at least 2 intervals, got %d", sp.Intervals)
+	}
+	if sp.IntervalInsts < 1 {
+		return fmt.Errorf("core: sampling interval of %d instructions", sp.IntervalInsts)
+	}
+	if sp.WarmupInsts < 0 || sp.DetailWarmup < 0 {
+		return fmt.Errorf("core: negative sampling warmup (%d functional, %d detailed)",
+			sp.WarmupInsts, sp.DetailWarmup)
+	}
+	stride := insts / int64(sp.Intervals)
+	if need := sp.DetailWarmup + sp.IntervalInsts; stride < need {
+		return fmt.Errorf(
+			"core: %d intervals of %d instructions (plus %d detail warmup) need %d per stride, measured region of %d provides %d",
+			sp.Intervals, sp.IntervalInsts, sp.DetailWarmup, need, insts, stride)
+	}
+	return nil
+}
+
+// instSeeker is implemented by streams that can jump to an absolute
+// instruction position (trace.Reader over a seekable source).
+type instSeeker interface{ SeekInst(n int64) error }
+
+// limitStream caps how many instructions pass through after the cap is
+// armed; unlike trace.Reader.SetLimit it works over any stream, so the
+// sampled scheduler treats synthetic generators and traces uniformly.
+type limitStream struct {
+	inner isa.Stream
+	limit int64 // <0 = unlimited
+}
+
+func (l *limitStream) Next(in *isa.Inst) bool {
+	if l.limit == 0 {
+		return false
+	}
+	if l.limit > 0 {
+		l.limit--
+	}
+	return l.inner.Next(in)
+}
+
+func (l *limitStream) Err() error {
+	if es, ok := l.inner.(errStream); ok {
+		return es.Err()
+	}
+	return nil
+}
+
+// RunSampled estimates the measured region [warmup, warmup+insts) of a
+// workload by detailed simulation of evenly-spaced intervals, sharded
+// across pooled processors. The aggregate Result sums the per-interval
+// statistics; its IPC is the mean of per-interval IPCs (the quantity
+// the confidence interval in SampleStats describes). The reduction is
+// performed in interval order, so the outcome is bit-identical
+// regardless of worker scheduling.
+func RunSampled(ctx context.Context, src workload.Source, warmup, insts int64, mk ConfigFactory, sp SamplingParams) (pipeline.Result, SampleStats, error) {
+	if err := sp.validate(insts); err != nil {
+		return pipeline.Result{}, SampleStats{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return pipeline.Result{}, SampleStats{}, err
+	}
+	// The same budget contract as a full run: a source that knows its
+	// length must cover warmup+insts, or every interval placement is
+	// fiction.
+	probe, err := src.Open(warmup + insts)
+	if err != nil {
+		return pipeline.Result{}, SampleStats{}, err
+	}
+	if ss, ok := probe.(sizedStream); ok {
+		total, known := ss.TotalInsts()
+		if !known {
+			closeStream(probe)
+			return pipeline.Result{}, SampleStats{}, fmt.Errorf(
+				"core: workload %q has an unknown instruction count; replay it from a seekable source", src.Name())
+		}
+		if total < warmup+insts {
+			closeStream(probe)
+			return pipeline.Result{}, SampleStats{}, fmt.Errorf(
+				"core: workload %q holds %d instructions, need %d (%d warmup + %d measured); shrink -n or record a longer trace",
+				src.Name(), total, warmup+insts, warmup, insts)
+		}
+	}
+	closeStream(probe)
+
+	stride := insts / int64(sp.Intervals)
+	type intervalOut struct {
+		res      pipeline.Result
+		usedCkpt bool
+		err      error
+	}
+	outs := make([]intervalOut, sp.Intervals)
+
+	nw := sp.Parallelism
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > sp.Intervals {
+		nw = sp.Intervals
+	}
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				if err := ctx.Err(); err != nil {
+					outs[i].err = err
+					continue
+				}
+				res, used, err := runInterval(ctx, src, warmup+int64(i)*stride, mk, sp)
+				outs[i] = intervalOut{res: res, usedCkpt: used, err: err}
+			}
+		}()
+	}
+	for i := 0; i < sp.Intervals; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	// Reduce in interval order: deterministic under any parallelism.
+	var well util.Welford
+	st := SampleStats{
+		Intervals:     sp.Intervals,
+		IntervalInsts: sp.IntervalInsts,
+		WarmupInsts:   sp.WarmupInsts,
+		DetailWarmup:  sp.DetailWarmup,
+		IntervalIPCs:  make([]float64, 0, sp.Intervals),
+	}
+	var agg pipeline.Result
+	for i := range outs {
+		o := &outs[i]
+		if o.err != nil {
+			return pipeline.Result{}, SampleStats{}, fmt.Errorf("core: sampled interval %d: %w", i, o.err)
+		}
+		if o.usedCkpt {
+			st.CheckpointsUsed++
+		}
+		well.Add(o.res.IPC)
+		st.IntervalIPCs = append(st.IntervalIPCs, o.res.IPC)
+		addResult(&agg, &o.res)
+	}
+	st.IPCMean = well.Mean()
+	st.IPCStdDev = well.StdDev()
+	st.IPCCI95 = well.CI95()
+	agg.IPC = st.IPCMean
+	if agg.Cycles > 0 {
+		agg.UPC = float64(agg.UOps) / float64(agg.Cycles)
+	}
+	if agg.Insts > 0 {
+		agg.BrMispPKI = 1000 * float64(agg.BrMispredicts) / float64(agg.Insts)
+	}
+	return agg, st, nil
+}
+
+// runInterval simulates one measurement interval whose detailed
+// execution starts at absolute instruction s: position cheaply (seek,
+// fast-forward or checkpoint restore), functionally warm up to s, then
+// run DetailWarmup+IntervalInsts instructions in detail, measuring the
+// final IntervalInsts.
+func runInterval(ctx context.Context, src workload.Source, s int64, mk ConfigFactory, sp SamplingParams) (pipeline.Result, bool, error) {
+	stream, err := src.Open(s + sp.DetailWarmup + sp.IntervalInsts)
+	if err != nil {
+		return pipeline.Result{}, false, err
+	}
+	run := isa.Stream(stream)
+	if ctx.Done() != nil {
+		run = &cancelStream{inner: stream, ctx: ctx}
+	}
+	ls := &limitStream{inner: run, limit: -1}
+	proc := acquireProc(mk(), ls)
+	finish := func(r pipeline.Result, used bool, err error) (pipeline.Result, bool, error) {
+		proc.Release()
+		procPool.Put(proc)
+		if err == nil {
+			err = ls.Err()
+		}
+		if cerr := closeStream(stream); cerr != nil && err == nil {
+			err = cerr
+		}
+		return r, used, err
+	}
+
+	pos := int64(0) // absolute instruction position reached so far
+	usedCkpt := false
+	if sp.Checkpoints != nil {
+		if ck := sp.Checkpoints.Nearest(s); ck != nil {
+			if sk, ok := stream.(instSeeker); ok {
+				if err := sk.SeekInst(ck.InstOffset); err != nil {
+					return finish(pipeline.Result{}, false, err)
+				}
+			} else if n := proc.FastForward(ck.InstOffset); n != ck.InstOffset {
+				return finish(pipeline.Result{}, false, fmt.Errorf(
+					"stream ended at instruction %d, checkpoint is at %d", n, ck.InstOffset))
+			}
+			if err := proc.Restore(ck); err != nil {
+				return finish(pipeline.Result{}, false, err)
+			}
+			pos = ck.InstOffset
+			usedCkpt = true
+		}
+	}
+	if !usedCkpt {
+		ff := s - sp.WarmupInsts
+		if ff < 0 {
+			ff = 0
+		}
+		if ff > 0 {
+			if sk, ok := stream.(instSeeker); ok {
+				if err := sk.SeekInst(ff); err != nil {
+					return finish(pipeline.Result{}, false, err)
+				}
+			} else if n := proc.FastForward(ff); n != ff {
+				return finish(pipeline.Result{}, false, fmt.Errorf(
+					"stream ended at instruction %d, interval warmup starts at %d", n, ff))
+			}
+		}
+		pos = ff
+	}
+	if gap := s - pos; gap > 0 {
+		if n := proc.Warm(gap); n != gap {
+			return finish(pipeline.Result{}, false, fmt.Errorf(
+				"stream ended %d instructions into a %d-instruction warmup", n, gap))
+		}
+	}
+	ls.limit = sp.DetailWarmup + sp.IntervalInsts
+	r := proc.RunWarm(sp.DetailWarmup, 0)
+	// The warmup boundary is detected at cycle granularity, so up to a
+	// commit-width of instructions can land on the warm side of it — the
+	// same slop every RunWarm-based measurement in this package has. A
+	// larger shortfall means the stream ended early.
+	const warmBoundarySlack = 64
+	if got := int64(r.Insts); got > sp.IntervalInsts || got < sp.IntervalInsts-warmBoundarySlack {
+		return finish(pipeline.Result{}, false, fmt.Errorf(
+			"interval measured %d instructions, want %d", got, sp.IntervalInsts))
+	}
+	return finish(r, usedCkpt, nil)
+}
+
+// addResult accumulates src's counters into agg (rates are recomputed
+// by the caller after the last interval).
+func addResult(agg, src *pipeline.Result) {
+	if agg.Config == "" {
+		agg.Config = src.Config
+		agg.StorageBits = src.StorageBits
+	}
+	agg.Cycles += src.Cycles
+	agg.Insts += src.Insts
+	agg.UOps += src.UOps
+	agg.FetchedUOps += src.FetchedUOps
+	agg.BrCondRetired += src.BrCondRetired
+	agg.BrMispredicts += src.BrMispredicts
+	agg.BTBMisses += src.BTBMisses
+	agg.ValueMispredicts += src.ValueMispredicts
+	agg.MemOrderFlushes += src.MemOrderFlushes
+	agg.SquashedUOps += src.SquashedUOps
+	agg.EarlyExecuted += src.EarlyExecuted
+	agg.LateExecuted += src.LateExecuted
+	agg.FreeLoadImms += src.FreeLoadImms
+	agg.LoadsExecuted += src.LoadsExecuted
+	agg.StoreForwards += src.StoreForwards
+	agg.L1DMisses += src.L1DMisses
+	agg.L2Misses += src.L2Misses
+	agg.L1DMSHRMerges += src.L1DMSHRMerges
+	agg.L2MSHRMerges += src.L2MSHRMerges
+	agg.VP.Eligible += src.VP.Eligible
+	agg.VP.Attributed += src.VP.Attributed
+	agg.VP.Used += src.VP.Used
+	agg.VP.UsedCorrect += src.VP.UsedCorrect
+	agg.VP.SpecWindowHits += src.VP.SpecWindowHits
+	agg.VP.SpecWindowProbes += src.VP.SpecWindowProbes
+}
+
+func closeStream(s isa.Stream) error {
+	if c, ok := s.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// frameAligner is implemented by trace.Reader over seekable sources:
+// FrameStart snaps an instruction offset down to its frame boundary so
+// a later SeekInst to a checkpoint decodes nothing it throws away.
+type frameAligner interface {
+	FrameStart(n int64) (int64, bool)
+}
+
+// BuildCheckpoints warms one processor continuously over [0, upTo) and
+// snapshots its microarchitectural state every `every` instructions
+// (offsets snapped down to trace frame boundaries when the stream can
+// report them). The returned checkpoints carry continuous-warming
+// state: restoring one and warming forward is equivalent to warming
+// straight through, so one build serves every later sampled run.
+// Configurations whose value predictor cannot snapshot (the idealistic
+// per-instruction infrastructure) are reported as an error.
+func BuildCheckpoints(src workload.Source, mk ConfigFactory, every, upTo int64) ([]*pipeline.Checkpoint, string, error) {
+	if every < 1 || upTo < every {
+		return nil, "", fmt.Errorf("core: checkpoint spacing %d over %d instructions", every, upTo)
+	}
+	stream, err := src.Open(upTo)
+	if err != nil {
+		return nil, "", err
+	}
+	defer closeStream(stream)
+	cfg := mk()
+	proc := acquireProc(cfg, stream)
+	defer func() {
+		proc.Release()
+		procPool.Put(proc)
+	}()
+
+	fa, _ := stream.(frameAligner)
+	var points []*pipeline.Checkpoint
+	pos := int64(0)
+	for target := every; target < upTo; target += every {
+		at := target
+		if fa != nil {
+			if aligned, ok := fa.FrameStart(target); ok {
+				at = aligned
+			}
+		}
+		if at <= pos {
+			continue
+		}
+		if n := proc.Warm(at - pos); n != at-pos {
+			return nil, "", fmt.Errorf("core: workload %q ended at instruction %d, checkpoint wanted %d",
+				src.Name(), pos+n, at)
+		}
+		pos = at
+		ck, err := proc.Snapshot(pos)
+		if err != nil {
+			return nil, "", fmt.Errorf("core: checkpoint at instruction %d: %w", pos, err)
+		}
+		points = append(points, ck)
+	}
+	if es, ok := stream.(errStream); ok && es.Err() != nil {
+		return nil, "", fmt.Errorf("core: workload %q: %w", src.Name(), es.Err())
+	}
+	return points, cfg.Name, nil
+}

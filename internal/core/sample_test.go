@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"bebop/internal/pipeline"
+	"bebop/internal/workload"
+)
+
+func sampleProfile(t *testing.T, name string) workload.Source {
+	t.Helper()
+	prof, ok := workload.ProfileByName(name)
+	if !ok {
+		t.Fatalf("unknown profile %q", name)
+	}
+	return workload.ProfileSource{Prof: prof}
+}
+
+func TestRunSampledDeterministicAcrossParallelism(t *testing.T) {
+	src := sampleProfile(t, "gcc")
+	sp := SamplingParams{
+		Intervals:     4,
+		IntervalInsts: 2000,
+		WarmupInsts:   4000,
+		DetailWarmup:  500,
+	}
+	run := func(par int) (pipeline.Result, SampleStats) {
+		p := sp
+		p.Parallelism = par
+		r, st, err := RunSampled(context.Background(), src, 8000, 40000, Baseline(), p)
+		if err != nil {
+			t.Fatalf("RunSampled(par=%d): %v", par, err)
+		}
+		return r, st
+	}
+	r1, st1 := run(1)
+	r4, st4 := run(4)
+	if r1 != r4 {
+		t.Errorf("aggregate result depends on parallelism:\npar=1: %+v\npar=4: %+v", r1, r4)
+	}
+	if !reflect.DeepEqual(st1, st4) {
+		t.Errorf("sample stats depend on parallelism:\npar=1: %+v\npar=4: %+v", st1, st4)
+	}
+	if len(st1.IntervalIPCs) != sp.Intervals {
+		t.Fatalf("got %d interval IPCs, want %d", len(st1.IntervalIPCs), sp.Intervals)
+	}
+	for i, ipc := range st1.IntervalIPCs {
+		if ipc <= 0 || math.IsNaN(ipc) {
+			t.Errorf("interval %d has degenerate IPC %v", i, ipc)
+		}
+	}
+	if st1.IPCCI95 <= 0 && st1.IPCStdDev > 0 {
+		t.Errorf("positive spread (stddev %v) but no confidence interval", st1.IPCStdDev)
+	}
+	want := int64(sp.Intervals) * sp.IntervalInsts
+	if got := int64(r1.Insts); got > want || got < want-64*int64(sp.Intervals) {
+		t.Errorf("aggregate measured %d instructions, want ~%d", got, want)
+	}
+}
+
+// TestRunSampledCheckpointsMatchContinuousWarming pins the checkpoint
+// semantics: restoring a snapshot taken at instruction c and warming
+// forward to an interval start s must be bit-identical to warming the
+// whole prefix [0, s) in one pass — which a checkpoint-free run does
+// when its warming window covers every interval start.
+func TestRunSampledCheckpointsMatchContinuousWarming(t *testing.T) {
+	for _, cfgName := range []string{"baseline", "eole-bebop"} {
+		t.Run(cfgName, func(t *testing.T) {
+			src := sampleProfile(t, "mcf")
+			mk := Baseline()
+			if cfgName == "eole-bebop" {
+				mk = EOLEBeBoP("Medium", MediumConfig())
+			}
+			const warmup, insts = 6000, 24000
+			points, name, err := BuildCheckpoints(src, mk, 5000, warmup+insts)
+			if err != nil {
+				t.Fatalf("BuildCheckpoints: %v", err)
+			}
+			if len(points) == 0 {
+				t.Fatal("no checkpoints built")
+			}
+			if name != mk().Name {
+				t.Fatalf("checkpoints labeled %q, config is %q", name, mk().Name)
+			}
+			base := SamplingParams{
+				Intervals:     3,
+				IntervalInsts: 2000,
+				DetailWarmup:  500,
+				Parallelism:   2,
+			}
+			full := base
+			full.WarmupInsts = warmup + insts // warm continuously from instruction 0
+			ckpt := base
+			ckpt.Checkpoints = memCheckpoints(points)
+			rFull, stFull, err := RunSampled(context.Background(), src, warmup, insts, mk, full)
+			if err != nil {
+				t.Fatalf("continuous-warming run: %v", err)
+			}
+			rCkpt, stCkpt, err := RunSampled(context.Background(), src, warmup, insts, mk, ckpt)
+			if err != nil {
+				t.Fatalf("checkpointed run: %v", err)
+			}
+			if stCkpt.CheckpointsUsed != base.Intervals {
+				t.Errorf("checkpoints used for %d of %d intervals", stCkpt.CheckpointsUsed, base.Intervals)
+			}
+			if rFull != rCkpt {
+				t.Errorf("checkpointed run diverges from continuous warming:\nfull: %+v\nckpt: %+v", rFull, rCkpt)
+			}
+			if !reflect.DeepEqual(stFull.IntervalIPCs, stCkpt.IntervalIPCs) {
+				t.Errorf("interval IPCs diverge:\nfull: %v\nckpt: %v", stFull.IntervalIPCs, stCkpt.IntervalIPCs)
+			}
+		})
+	}
+}
+
+// memCheckpoints is an in-memory CheckpointSource for tests.
+type memCheckpoints []*pipeline.Checkpoint
+
+func (m memCheckpoints) Nearest(inst int64) *pipeline.Checkpoint {
+	var best *pipeline.Checkpoint
+	for _, ck := range m {
+		if ck.InstOffset <= inst && (best == nil || ck.InstOffset > best.InstOffset) {
+			best = ck
+		}
+	}
+	return best
+}
+
+func TestRunSampledValidation(t *testing.T) {
+	src := sampleProfile(t, "gcc")
+	bad := []SamplingParams{
+		{Intervals: 1, IntervalInsts: 100},                                     // too few intervals
+		{Intervals: 4, IntervalInsts: 0},                                       // empty interval
+		{Intervals: 4, IntervalInsts: 100, WarmupInsts: -1},                    // negative warmup
+		{Intervals: 10, IntervalInsts: 5000},                                   // intervals overflow the region
+		{Intervals: 4, IntervalInsts: 2000, DetailWarmup: 9000},                // detail warmup overflows the stride
+		{Intervals: 4, IntervalInsts: 2000, DetailWarmup: -2, WarmupInsts: 10}, // negative detail warmup
+	}
+	for i, sp := range bad {
+		if _, _, err := RunSampled(context.Background(), src, 0, 40000, Baseline(), sp); err == nil {
+			t.Errorf("case %d (%+v): no error", i, sp)
+		}
+	}
+}
+
+func TestRunSampledCancel(t *testing.T) {
+	src := sampleProfile(t, "gcc")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sp := SamplingParams{Intervals: 2, IntervalInsts: 1000}
+	if _, _, err := RunSampled(ctx, src, 0, 20000, Baseline(), sp); err == nil {
+		t.Error("cancelled context: no error")
+	}
+}
+
+func TestBuildCheckpointsRejectsInstVP(t *testing.T) {
+	src := sampleProfile(t, "gcc")
+	if _, _, err := BuildCheckpoints(src, BaselineVP("D-VTAGE"), 2000, 10000); err == nil {
+		t.Error("per-instruction VP infrastructure snapshotting should be refused")
+	}
+}

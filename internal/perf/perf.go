@@ -16,6 +16,7 @@
 package perf
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -43,7 +44,13 @@ import (
 // data-layout PR (aggregate insts/sec overweights long-running cells;
 // the geomean weighs every workload equally, so memory-bound mcf counts
 // as much as swim) and the quantity the CI perf gate compares.
-const Schema = 3
+//
+// Schema 4 added the sampled scenario: each pinned workload's trace is
+// also estimated by checkpointed sampled simulation, and its points
+// carry EffectiveInstsPerSec — the represented (warmup+measure) budget
+// over wall time, the throughput a consumer of the estimate actually
+// experiences. Sampled cells gate on the effective rate.
+const Schema = 4
 
 // PinnedWorkloads is the fixed benchmark subset every trajectory point
 // runs: predictable (swim), mixed (gcc, bzip2), memory-bound (mcf),
@@ -73,8 +80,9 @@ func Configs() []struct {
 type Point struct {
 	Config string `json:"config"`
 	Bench  string `json:"bench"`
-	// Mode is "generate" (live synthetic generator) or "replay" (the
-	// same workload streamed from a recorded .bbt trace).
+	// Mode is "generate" (live synthetic generator), "replay" (the same
+	// workload streamed from a recorded .bbt trace) or "sampled"
+	// (checkpointed sampled estimation of the trace).
 	Mode string `json:"mode"`
 
 	Insts uint64  `json:"insts"` // measured (post-warmup) instructions
@@ -84,6 +92,11 @@ type Point struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	InstsPerSec float64 `json:"insts_per_sec"`
 	UOpsPerSec  float64 `json:"uops_per_sec"`
+	// EffectiveInstsPerSec (sampled mode only) divides the represented
+	// budget — the warmup+measure window the estimate stands in for —
+	// by wall time. InstsPerSec above stays the detailed-instruction
+	// rate, so the two together show the sampling leverage.
+	EffectiveInstsPerSec float64 `json:"effective_insts_per_sec,omitempty"`
 
 	// Allocations and bytes allocated during the run (runtime.MemStats
 	// delta), plus the headline allocations-per-kilo-instruction rate.
@@ -122,6 +135,9 @@ type Report struct {
 	Points           []Point `json:"points"`
 	Totals           Totals  `json:"totals"`
 	ReplayTotals     *Totals `json:"replay_totals,omitempty"`
+	// SampledTotals aggregates the sampled points (schema 4); its
+	// GeomeanInstsPerSec is over the effective rates.
+	SampledTotals *Totals `json:"sampled_totals,omitempty"`
 }
 
 // Options configures Measure.
@@ -177,7 +193,7 @@ func Measure(opts Options) (Report, error) {
 	}
 	defer os.RemoveAll(traceDir)
 	replayCfg := Configs()[0]
-	var replayTotals Totals
+	var replayTotals, sampledTotals Totals
 	for _, bench := range benches {
 		prof, _ := workload.ProfileByName(bench)
 		path := filepath.Join(traceDir, bench+trace.Ext)
@@ -208,11 +224,62 @@ func Measure(opts Options) (Report, error) {
 		}
 		rep.Points = append(rep.Points, p)
 		addPoint(&replayTotals, p)
+
+		// Sampled scenario: the same trace estimated by checkpointed
+		// sampled simulation. Building the checkpoints (one warming pass)
+		// is unmeasured setup, matching how sim amortizes the side-file
+		// across runs; the measured run restores and samples.
+		sp, ok := sampledParams(insts)
+		if !ok {
+			continue // budget too small for a meaningful sampling plan
+		}
+		warmup := insts / 2
+		points, _, err := core.BuildCheckpoints(src, replayCfg.Mk, insts/int64(sp.Intervals), warmup+insts)
+		if err != nil {
+			return Report{}, fmt.Errorf("perf: checkpoint %s: %w", bench, err)
+		}
+		sp.Checkpoints = &trace.CheckpointFile{Points: points}
+		p = measureCell(replayCfg.Name, bench, "sampled", func() pipeline.Result {
+			res, _, err := core.RunSampled(context.Background(), src, warmup, insts, replayCfg.Mk, sp)
+			if err != nil && runErr == nil {
+				runErr = err
+			}
+			return res
+		})
+		if runErr != nil {
+			return Report{}, fmt.Errorf("perf: sampled %s: %w", bench, runErr)
+		}
+		if p.WallSeconds > 0 {
+			p.EffectiveInstsPerSec = float64(warmup+insts) / p.WallSeconds
+		}
+		rep.Points = append(rep.Points, p)
+		addPoint(&sampledTotals, p)
 	}
 	finishTotals(&rep.Totals, rep.Points, "generate")
 	finishTotals(&replayTotals, rep.Points, "replay")
 	rep.ReplayTotals = &replayTotals
+	if sampledTotals.Insts > 0 {
+		finishTotals(&sampledTotals, rep.Points, "sampled")
+		rep.SampledTotals = &sampledTotals
+	}
 	return rep, nil
+}
+
+// sampledParams derives the pinned sampling plan for a perf budget: 10
+// intervals covering a tenth of the measured window, the same shape the
+// SDK defaults to. Budgets under 1000 instructions cannot fit it.
+func sampledParams(insts int64) (core.SamplingParams, bool) {
+	const intervals = 10
+	ii := insts / (10 * intervals)
+	if ii < 1 {
+		return core.SamplingParams{}, false
+	}
+	return core.SamplingParams{
+		Intervals:     intervals,
+		IntervalInsts: ii,
+		WarmupInsts:   8 * ii,
+		DetailWarmup:  ii / 4,
+	}, true
 }
 
 // measureCell runs one cell twice — an unmeasured warmup that fills the
@@ -270,21 +337,31 @@ func finishTotals(t *Totals, points []Point, mode string) {
 	t.GeomeanInstsPerSec = geomeanRate(points, mode)
 }
 
-// geomeanRate is the geometric mean of insts/sec over the points of one
-// mode; 0 if no point of that mode has a positive rate.
+// geomeanRate is the geometric mean of the headline rate over the points
+// of one mode; 0 if no point of that mode has a positive rate.
 func geomeanRate(points []Point, mode string) float64 {
 	sum, n := 0.0, 0
 	for _, p := range points {
-		if p.Mode != mode || p.InstsPerSec <= 0 {
+		r := p.headlineRate()
+		if p.Mode != mode || r <= 0 {
 			continue
 		}
-		sum += math.Log(p.InstsPerSec)
+		sum += math.Log(r)
 		n++
 	}
 	if n == 0 {
 		return 0
 	}
 	return math.Exp(sum / float64(n))
+}
+
+// headlineRate is the rate a cell is judged by: the effective rate for
+// sampled cells, the detailed rate for everything else.
+func (p Point) headlineRate() float64 {
+	if p.EffectiveInstsPerSec > 0 {
+		return p.EffectiveInstsPerSec
+	}
+	return p.InstsPerSec
 }
 
 // Gate compares a fresh report against a committed reference and returns
@@ -296,18 +373,18 @@ func Gate(fresh, ref Report, maxRegress float64) (float64, error) {
 	type key struct{ config, bench, mode string }
 	refRate := make(map[key]float64, len(ref.Points))
 	for _, p := range ref.Points {
-		if p.InstsPerSec > 0 {
-			refRate[key{p.Config, p.Bench, p.Mode}] = p.InstsPerSec
+		if p.headlineRate() > 0 {
+			refRate[key{p.Config, p.Bench, p.Mode}] = p.headlineRate()
 		}
 	}
 	sum, n := 0.0, 0
 	worst, worstCell := math.Inf(1), ""
 	for _, p := range fresh.Points {
 		old, ok := refRate[key{p.Config, p.Bench, p.Mode}]
-		if !ok || p.InstsPerSec <= 0 {
+		if !ok || p.headlineRate() <= 0 {
 			continue
 		}
-		r := p.InstsPerSec / old
+		r := p.headlineRate() / old
 		sum += math.Log(r)
 		n++
 		if r < worst {

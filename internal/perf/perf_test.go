@@ -10,11 +10,12 @@ func TestMeasureSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// One generate point per config plus one replay point per workload.
-	if want := len(Configs()) + 1; len(rep.Points) != want {
-		t.Fatalf("got %d points, want %d (per-config generate + replay)", len(rep.Points), want)
+	// One generate point per config plus one replay and one sampled
+	// point per workload.
+	if want := len(Configs()) + 2; len(rep.Points) != want {
+		t.Fatalf("got %d points, want %d (per-config generate + replay + sampled)", len(rep.Points), want)
 	}
-	replays := 0
+	replays, sampled := 0, 0
 	for _, p := range rep.Points {
 		if p.Insts == 0 || p.UOps == 0 {
 			t.Fatalf("%s/%s: no instructions measured: %+v", p.Config, p.Bench, p)
@@ -25,19 +26,32 @@ func TestMeasureSmoke(t *testing.T) {
 		switch p.Mode {
 		case "replay":
 			replays++
+		case "sampled":
+			sampled++
+			// A sampled cell simulates a fraction of the budget in
+			// detail, so the effective rate must beat the detailed rate.
+			if p.EffectiveInstsPerSec <= p.InstsPerSec {
+				t.Fatalf("sampled cell has no leverage: %+v", p)
+			}
 		case "generate":
+			if p.EffectiveInstsPerSec != 0 {
+				t.Fatalf("effective rate on a non-sampled cell: %+v", p)
+			}
 		default:
 			t.Fatalf("%s/%s: unknown mode %q", p.Config, p.Bench, p.Mode)
 		}
 	}
-	if replays != 1 {
-		t.Fatalf("got %d replay points, want 1", replays)
+	if replays != 1 || sampled != 1 {
+		t.Fatalf("got %d replay and %d sampled points, want 1 each", replays, sampled)
 	}
 	if rep.Totals.Insts == 0 || rep.Totals.WallSeconds <= 0 {
 		t.Fatalf("degenerate totals: %+v", rep.Totals)
 	}
 	if rep.ReplayTotals == nil || rep.ReplayTotals.Insts == 0 {
 		t.Fatalf("degenerate replay totals: %+v", rep.ReplayTotals)
+	}
+	if rep.SampledTotals == nil || rep.SampledTotals.GeomeanInstsPerSec <= 0 {
+		t.Fatalf("degenerate sampled totals: %+v", rep.SampledTotals)
 	}
 }
 
@@ -102,7 +116,7 @@ func TestPinnedSetIsValid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := (len(Configs()) + 1) * len(PinnedWorkloads())
+	want := (len(Configs()) + 2) * len(PinnedWorkloads())
 	if len(rep.Points) != want {
 		t.Fatalf("pinned matrix produced %d points, want %d", len(rep.Points), want)
 	}
@@ -142,14 +156,14 @@ func TestGate(t *testing.T) {
 }
 
 // TestGeomeanInTotals pins the schema-3 field: totals carry the geomean
-// of their mode's per-cell rates.
+// of their mode's per-cell rates (effective rates for sampled cells).
 func TestGeomeanInTotals(t *testing.T) {
 	rep, err := Measure(Options{Insts: 1000, Workloads: []string{"swim", "gcc"}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != 3 {
-		t.Fatalf("Schema = %d, want 3", rep.Schema)
+	if rep.Schema != 4 {
+		t.Fatalf("Schema = %d, want 4", rep.Schema)
 	}
 	if rep.Totals.GeomeanInstsPerSec <= 0 {
 		t.Fatalf("generate geomean not computed: %+v", rep.Totals)
@@ -157,7 +171,21 @@ func TestGeomeanInTotals(t *testing.T) {
 	if rep.ReplayTotals.GeomeanInstsPerSec <= 0 {
 		t.Fatalf("replay geomean not computed: %+v", rep.ReplayTotals)
 	}
+	if rep.SampledTotals.GeomeanInstsPerSec <= 0 {
+		t.Fatalf("sampled geomean not computed: %+v", rep.SampledTotals)
+	}
 	if got := geomeanRate(rep.Points, "generate"); got != rep.Totals.GeomeanInstsPerSec {
 		t.Fatalf("generate geomean %v != recomputed %v", rep.Totals.GeomeanInstsPerSec, got)
+	}
+	// The sampled geomean must reflect effective, not detailed, rates.
+	// (Whether it beats replay depends on the budget: checkpoint-restore
+	// overhead is fixed, so the leverage only shows at real budgets.)
+	if got := geomeanRate(rep.Points, "sampled"); got != rep.SampledTotals.GeomeanInstsPerSec {
+		t.Fatalf("sampled geomean %v != recomputed %v", rep.SampledTotals.GeomeanInstsPerSec, got)
+	}
+	for _, p := range rep.Points {
+		if p.Mode == "sampled" && p.headlineRate() != p.EffectiveInstsPerSec {
+			t.Fatalf("sampled cell not judged by its effective rate: %+v", p)
+		}
 	}
 }

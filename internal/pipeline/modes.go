@@ -1,0 +1,242 @@
+package pipeline
+
+import (
+	"bebop/internal/branch"
+	"bebop/internal/isa"
+)
+
+// ExecMode selects how the processor consumes instructions. The detailed
+// mode is the existing cycle-accurate loop (Run/RunWarm), pinned
+// bit-identical by the differential test suites; the two cheap modes
+// below exist so sampled simulation can skip cycle accuracy everywhere
+// it is not measured (SMARTS-style: fast-forward to an interval, warm
+// the predictors functionally, then measure in detail).
+type ExecMode uint8
+
+// Execution modes.
+const (
+	// ModeFastForward advances the functional instruction stream only:
+	// no structure — predictor, cache, history — observes anything.
+	ModeFastForward ExecMode = iota
+	// ModeWarming advances the stream while training every long-lived
+	// structure (TAGE, BTB, RAS, history, caches, value predictor) in
+	// program order, with no timing model.
+	ModeWarming
+	// ModeDetailed is the full cycle-accurate loop.
+	ModeDetailed
+)
+
+// String implements fmt.Stringer.
+func (m ExecMode) String() string {
+	switch m {
+	case ModeFastForward:
+		return "fast-forward"
+	case ModeWarming:
+		return "warming"
+	case ModeDetailed:
+		return "detailed"
+	}
+	return "?"
+}
+
+// Advance consumes up to insts instructions from the stream in the given
+// mode and returns how many were actually consumed (less only when the
+// stream ends). ModeDetailed steps the cycle loop until the retirement
+// count grows by insts; use Run/RunWarm instead when a Result is needed.
+func (p *Processor) Advance(mode ExecMode, insts int64) int64 {
+	switch mode {
+	case ModeFastForward:
+		return p.FastForward(insts)
+	case ModeWarming:
+		return p.Warm(insts)
+	case ModeDetailed:
+		return p.stepDetailed(insts)
+	}
+	return 0
+}
+
+// FastForward drains up to insts instructions from the stream without
+// touching any model state: the cheapest way to reach a later region of
+// a trace when no SeekInst-capable reader is available. It returns the
+// number of instructions consumed.
+func (p *Processor) FastForward(insts int64) int64 {
+	var n int64
+	var in isa.Inst
+	for n < insts {
+		if p.pending.Len() > 0 {
+			p.freeInst(p.pending.PopFront())
+			n++
+			continue
+		}
+		if p.streamDone {
+			break
+		}
+		if !p.stream.Next(&in) {
+			p.streamDone = true
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// WarmUOp is the slice of a µ-op the value predictor sees during
+// functional warming: enough to predict, attribute and train, with no
+// pipeline timing attached.
+type WarmUOp struct {
+	PC        uint64
+	UopIdx    int8
+	Boundary  uint8
+	Eligible  bool
+	Value     uint64
+	PrevValue uint64
+	HasPrev   bool
+}
+
+// VPWarmer is the optional warming interface of a VP implementation:
+// one call per fetch-block occurrence, in program order, with the
+// block's µ-ops and the history as it stands after the block's own
+// branches (matching when the detailed front end performs the access).
+// Implementations train immediately and must leave no in-flight state —
+// warming has no retire stage to drain a FIFO through.
+type VPWarmer interface {
+	WarmFetchBlock(blockPC uint64, hist *branch.History, uops []WarmUOp)
+}
+
+// Warm consumes up to insts instructions, training every long-lived
+// structure the way the detailed pipeline would in the steady state:
+// TAGE predict+update and history pushes per branch, BTB/RAS maintenance,
+// I-cache/D-cache accesses on a synthetic clock, and block-grained value
+// predictor training through VPWarmer. Stats, the cycle counter and the
+// sequence counter are untouched, so a detailed measurement can start
+// cleanly right after. Store sets are deliberately not trained: they
+// learn only from out-of-order memory violations, which do not exist in
+// an in-order functional walk.
+//
+// On return all in-flight timing state (cache MSHRs, DRAM bank/bus
+// clocks) is quiesced: warming's synthetic clock is meaningless to a
+// detailed run restarting at cycle 0.
+func (p *Processor) Warm(insts int64) int64 {
+	vpw, _ := p.cfg.VP.(VPWarmer)
+	var n int64
+	var in isa.Inst
+	for n < insts {
+		if p.pending.Len() > 0 {
+			di := p.pending.PopFront()
+			in = di.inst
+			p.freeInst(di)
+		} else {
+			if p.streamDone {
+				break
+			}
+			if !p.stream.Next(&in) {
+				p.streamDone = true
+				break
+			}
+		}
+		n++
+		p.warmInst(&in, vpw)
+	}
+	p.flushWarmingBlock(vpw)
+	p.mem.QuiesceTiming()
+	return n
+}
+
+// warmInst trains every structure on one instruction.
+func (p *Processor) warmInst(in *isa.Inst, vpw VPWarmer) {
+	blk := isa.BlockPC(in.PC)
+	if !p.warmingBlockOpen || blk != p.warmingBlockPC {
+		p.flushWarmingBlock(vpw)
+		p.warmingBlockOpen = true
+		p.warmingBlockPC = blk
+		p.mem.ReadInst(blk, p.warmingClock)
+	}
+
+	if vpw != nil {
+		boundary := uint8(isa.BlockOffset(in.PC))
+		for i := 0; i < in.NumUOps; i++ {
+			mo := &in.UOps[i]
+			p.warmingUOps = append(p.warmingUOps, WarmUOp{
+				PC:        in.PC,
+				UopIdx:    int8(i),
+				Boundary:  boundary,
+				Eligible:  mo.Eligible(),
+				Value:     mo.Value,
+				PrevValue: mo.PrevValue,
+				HasPrev:   mo.HasPrev,
+			})
+		}
+	}
+
+	for i := 0; i < in.NumUOps; i++ {
+		mo := &in.UOps[i]
+		switch mo.Class {
+		case isa.ClassLoad:
+			p.mem.ReadData(in.PC, mo.Addr, p.warmingClock)
+		case isa.ClassStore:
+			p.mem.WriteData(in.PC, mo.Addr, p.warmingClock)
+		}
+	}
+
+	switch {
+	case in.Kind == isa.BranchCond:
+		pr := p.tage.Predict(in.PC, &p.hist)
+		p.tage.Update(in.PC, &p.hist, &pr, in.Taken)
+		p.hist.Push(in.Taken, in.Target)
+	case in.Kind != isa.BranchNone && in.Taken:
+		p.hist.Push(true, in.Target)
+	}
+	if in.Taken && in.Kind != isa.BranchNone {
+		switch in.Kind {
+		case isa.BranchReturn:
+			p.ras.Pop()
+		default:
+			p.btb.Lookup(in.PC)
+			p.btb.Insert(in.PC, in.Target)
+		}
+	}
+	if in.Kind == isa.BranchCall {
+		p.ras.Push(in.PC + uint64(in.Size))
+	}
+
+	// A taken branch ends the block occurrence, as in the detailed front
+	// end (the target — even inside the same block — is a fresh access).
+	if in.Kind != isa.BranchNone && in.Taken {
+		p.flushWarmingBlock(vpw)
+	}
+	p.warmingClock++
+}
+
+// flushWarmingBlock hands the accumulated block occurrence to the value
+// predictor's warming path and closes it.
+func (p *Processor) flushWarmingBlock(vpw VPWarmer) {
+	if !p.warmingBlockOpen {
+		return
+	}
+	if vpw != nil && len(p.warmingUOps) > 0 {
+		vpw.WarmFetchBlock(p.warmingBlockPC, &p.hist, p.warmingUOps)
+	}
+	p.warmingUOps = p.warmingUOps[:0]
+	p.warmingBlockOpen = false
+}
+
+// stepDetailed runs the detailed cycle loop until insts more instructions
+// retire or the stream ends, returning how many retired.
+func (p *Processor) stepDetailed(insts int64) int64 {
+	start := p.stats.Insts
+	target := start + uint64(insts)
+	for {
+		p.commitStage()
+		p.issueStage()
+		p.dispatchStage()
+		p.fetchStage()
+		p.now++
+		if p.stats.Insts >= target {
+			break
+		}
+		if p.streamDone && p.pending.Len() == 0 && p.feQ.Len() == 0 && p.rob.Len() == 0 {
+			break
+		}
+	}
+	return int64(p.stats.Insts - start)
+}

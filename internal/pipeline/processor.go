@@ -83,6 +83,14 @@ type Processor struct {
 	iqSkipUntil  int64
 	iqSkipEvents uint64
 
+	// Warming-mode state (see modes.go): a synthetic clock for cache
+	// accesses and the open fetch-block occurrence being accumulated for
+	// the value predictor's warming path.
+	warmingClock     int64
+	warmingBlockPC   uint64
+	warmingBlockOpen bool
+	warmingUOps      []WarmUOp
+
 	stats Stats
 	// Measurement window: counters at the warmup boundary are snapshotted
 	// and subtracted, mirroring the paper's "warm 50M, measure 100M"
@@ -239,6 +247,10 @@ func (p *Processor) Reset(cfg Config, stream isa.Stream) {
 	p.squashScratch = p.squashScratch[:0]
 	p.fwdStore = nil
 	p.iqSkipUntil, p.iqSkipEvents = 0, 0
+	p.warmingClock = 0
+	p.warmingBlockPC = 0
+	p.warmingBlockOpen = false
+	p.warmingUOps = p.warmingUOps[:0]
 	p.stats = Stats{}
 	p.warmed = false
 	p.warmStats = Stats{}

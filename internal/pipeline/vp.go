@@ -130,6 +130,24 @@ func (v *InstVP) OnRetire(u *UOp) {
 	}
 }
 
+// WarmFetchBlock implements VPWarmer: during functional warming each
+// eligible µ-op is predicted and immediately trained on its
+// architectural value — the steady-state predict-at-fetch /
+// train-at-retire cycle collapsed to a point, leaving no in-flight
+// state. Stats are untouched (warming precedes the measurement window).
+func (v *InstVP) WarmFetchBlock(_ uint64, hist *branch.History, uops []WarmUOp) {
+	for i := range uops {
+		w := &uops[i]
+		if !w.Eligible {
+			continue
+		}
+		o := v.P.Predict(w.PC, int(w.UopIdx), hist, w.PrevValue, w.HasPrev)
+		if o.Predicted {
+			v.P.Update(&o, w.Value)
+		}
+	}
+}
+
 // OnSquash implements VP.
 func (v *InstVP) OnSquash(*UOp) {}
 

@@ -83,3 +83,20 @@ func (r *RNG) Fork() *RNG {
 	s := r.Uint64() ^ 0xD1B54A32D192ED03
 	return NewRNG(s)
 }
+
+// State returns the raw generator state, so checkpoints can capture the
+// exact position in the stream (a reseed would change every probabilistic
+// decision after restore).
+func (r *RNG) State() uint64 {
+	return r.state
+}
+
+// SetState restores a state previously captured with State. A zero state
+// is remapped the same way NewRNG remaps a zero seed, so a restored
+// generator can never hit the xorshift all-zero fixed point.
+func (r *RNG) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	r.state = s
+}

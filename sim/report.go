@@ -9,7 +9,10 @@ import (
 // ReportSchemaVersion is the current Report JSON schema. Bump it when a
 // field is added, renamed or changes meaning, so result files state
 // which schema they were written under.
-const ReportSchemaVersion = 1
+//
+// v2 added the optional "sampling" block (sampled-simulation estimates
+// with confidence intervals); every v1 field is unchanged.
+const ReportSchemaVersion = 2
 
 // Report is the stable result of one simulation run: pipeline counters,
 // derived rates and value-prediction statistics, flattened into one
@@ -65,6 +68,30 @@ type Report struct {
 
 	// VP carries the value prediction statistics.
 	VP VPReport `json:"vp"`
+
+	// Sampling is present only for sampled runs (RunSpec.Sampling): the
+	// counters above then aggregate the measured intervals, IPC is the
+	// mean of per-interval IPCs, and this block carries the confidence
+	// interval around it.
+	Sampling *SamplingReport `json:"sampling,omitempty"`
+}
+
+// SamplingReport is the sampled-simulation slice of a Report.
+type SamplingReport struct {
+	// The normalized sampling parameters the run used.
+	Intervals     int   `json:"intervals"`
+	IntervalInsts int64 `json:"interval_insts"`
+	WarmupInsts   int64 `json:"warmup_insts"`
+	DetailWarmup  int64 `json:"detail_warmup"`
+	// CheckpointsUsed counts intervals served from a checkpoint restore.
+	CheckpointsUsed int `json:"checkpoints_used"`
+	// IPCMean is the mean of per-interval IPCs (equal to the report's
+	// IPC field); IPCCI95 is the Student-t 95% confidence half-width.
+	IPCMean   float64 `json:"ipc_mean"`
+	IPCStdDev float64 `json:"ipc_stddev"`
+	IPCCI95   float64 `json:"ipc_ci95"`
+	// IntervalIPCs holds each interval's IPC in interval order.
+	IntervalIPCs []float64 `json:"interval_ipcs"`
 }
 
 // VPReport is the value-prediction slice of a Report.

@@ -14,14 +14,10 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files with the current output")
 
-// TestReportSchemaGolden pins the Report v1 JSON wire format: the full
-// set of key paths a fully-populated Report emits, in testdata/
-// report_schema_v1.golden. Reports are consumed outside this repo
-// (result files, bebop-serve clients), so adding, renaming or removing
-// a field is a schema change: it must fail here first, and shipping it
-// means bumping ReportSchemaVersion and regenerating the golden with
-// `go test ./sim -run TestReportSchemaGolden -update`.
-func TestReportSchemaGolden(t *testing.T) {
+// reportSchemaPaths renders the full sorted set of JSON key paths a
+// fully-populated Report emits — the wire schema as a comparable string.
+func reportSchemaPaths(t *testing.T) string {
+	t.Helper()
 	var rep Report
 	fillValue(reflect.ValueOf(&rep).Elem())
 	blob, err := json.Marshal(rep)
@@ -35,9 +31,20 @@ func TestReportSchemaGolden(t *testing.T) {
 	var paths []string
 	collectPaths("", decoded, &paths)
 	sort.Strings(paths)
-	got := strings.Join(paths, "\n") + "\n"
+	return strings.Join(paths, "\n") + "\n"
+}
 
-	golden := filepath.Join("testdata", "report_schema_v1.golden")
+// TestReportSchemaGolden pins the Report v2 JSON wire format: the full
+// set of key paths a fully-populated Report emits, in testdata/
+// report_schema_v2.golden. Reports are consumed outside this repo
+// (result files, bebop-serve clients), so adding, renaming or removing
+// a field is a schema change: it must fail here first, and shipping it
+// means bumping ReportSchemaVersion and regenerating the golden with
+// `go test ./sim -run TestReportSchemaGolden -update`.
+func TestReportSchemaGolden(t *testing.T) {
+	got := reportSchemaPaths(t)
+
+	golden := filepath.Join("testdata", "report_schema_v2.golden")
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
 			t.Fatal(err)
@@ -53,6 +60,28 @@ func TestReportSchemaGolden(t *testing.T) {
 	if got != string(want) {
 		t.Fatalf("Report JSON schema changed — if intended, bump ReportSchemaVersion and regenerate with -update.\ndiff (got vs %s):\n%s",
 			golden, pathDiff(got, string(want)))
+	}
+}
+
+// TestReportSchemaV1Compat pins backward compatibility of the v2 bump:
+// every key path a v1 Report emitted must still be present, byte for
+// byte, in the v2 schema. v2 is allowed to add paths (the sampling
+// blocks); it must never drop or rename a v1 path, or every existing
+// consumer of result files breaks. The v1 golden is frozen history —
+// never regenerate it.
+func TestReportSchemaV1Compat(t *testing.T) {
+	v1, err := os.ReadFile(filepath.Join("testdata", "report_schema_v1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, p := range strings.Split(strings.TrimSpace(reportSchemaPaths(t)), "\n") {
+		got[p] = true
+	}
+	for _, p := range strings.Split(strings.TrimSpace(string(v1)), "\n") {
+		if !got[p] {
+			t.Errorf("v1 schema path %q is gone from the current Report schema", p)
+		}
 	}
 }
 

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bebop/internal/trace"
+	"bebop/internal/workload"
+)
+
+func TestSampledRunThroughSDK(t *testing.T) {
+	s := New(
+		WithWorkload("gcc"),
+		WithConfig("baseline"),
+		WithInsts(40_000),
+		WithWarmup(8_000),
+		WithSampling(SamplingSpec{Intervals: 4, IntervalInsts: 2_000, Warmup: 4_000, DetailWarmup: 500}),
+	)
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.SchemaVersion != ReportSchemaVersion {
+		t.Errorf("report schema %d, want %d", rep.SchemaVersion, ReportSchemaVersion)
+	}
+	if rep.Sampling == nil {
+		t.Fatal("sampled run produced no sampling block")
+	}
+	if rep.Sampling.Intervals != 4 || len(rep.Sampling.IntervalIPCs) != 4 {
+		t.Errorf("sampling block %+v, want 4 intervals", rep.Sampling)
+	}
+	if rep.IPC != rep.Sampling.IPCMean {
+		t.Errorf("report IPC %v != sampled mean %v", rep.IPC, rep.Sampling.IPCMean)
+	}
+	if rep.Sampling.IPCCI95 <= 0 {
+		t.Errorf("degenerate confidence interval %v", rep.Sampling.IPCCI95)
+	}
+
+	// Same spec, same report — bit-identically, like every other run.
+	rep2, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, rep2) {
+		t.Errorf("sampled runs of one spec diverge:\n%+v\n%+v", rep, rep2)
+	}
+
+	// The normalized spec round-trips through JSON and revalidation.
+	spec, err := s.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.SchemaVersion != RunSpecSchemaVersion {
+		t.Errorf("normalized spec schema %d, want %d", spec.SchemaVersion, RunSpecSchemaVersion)
+	}
+	blob, err := spec.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeRunSpec(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	revalidated, err := decoded.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, revalidated) {
+		t.Errorf("validated sampling spec does not round-trip:\n%+v\n%+v", spec, revalidated)
+	}
+}
+
+func TestSampledCheckpointSideFileLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	prof, _ := workload.ProfileByName("mcf")
+	path := filepath.Join(dir, "mcf"+trace.Ext)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := trace.Record(f, workload.New(prof, 60_000), trace.WriterOptions{Name: "mcf"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := RunSpec{
+		Trace:    path,
+		Config:   "eole-bebop/Medium",
+		Insts:    40_000,
+		Sampling: &SamplingSpec{Intervals: 4, IntervalInsts: 2_000, DetailWarmup: 500, Checkpoints: true},
+	}
+	rep1, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("first sampled run (builds checkpoints): %v", err)
+	}
+	ckPath := trace.CheckpointPath(path, "EOLE_4_60/Medium")
+	if _, err := os.Stat(ckPath); err != nil {
+		t.Fatalf("checkpoint side-file not written: %v", err)
+	}
+	if rep1.Sampling.CheckpointsUsed != 4 {
+		t.Errorf("first run restored %d intervals from checkpoints, want 4", rep1.Sampling.CheckpointsUsed)
+	}
+	// Second run loads the side-file instead of rebuilding and must
+	// reproduce the report bit-identically.
+	rep2, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("second sampled run (loads checkpoints): %v", err)
+	}
+	if !reflect.DeepEqual(rep1, rep2) {
+		t.Errorf("checkpoint reuse changes the report:\n%+v\n%+v", rep1, rep2)
+	}
+}
+
+func TestSamplingSpecValidation(t *testing.T) {
+	base := RunSpec{Workload: "gcc", Insts: 40_000}
+	cases := []struct {
+		name string
+		sp   SamplingSpec
+		ok   bool
+	}{
+		{"defaults", SamplingSpec{}, true},
+		{"one interval", SamplingSpec{Intervals: 1}, false},
+		{"negative warmup", SamplingSpec{Warmup: -1}, false},
+		{"negative detail warmup", SamplingSpec{DetailWarmup: -1}, false},
+		{"overflows stride", SamplingSpec{Intervals: 4, IntervalInsts: 20_000}, false},
+	}
+	for _, tc := range cases {
+		spec := base
+		spec.Sampling = &tc.sp
+		_, err := spec.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+
+	// Defaults are filled in and the caller's struct is not aliased.
+	spec := base
+	sp := SamplingSpec{}
+	spec.Sampling = &sp
+	out, err := spec.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sampling.Intervals != 20 || out.Sampling.IntervalInsts != 200 ||
+		out.Sampling.Warmup != 1600 || out.Sampling.DetailWarmup != 50 {
+		t.Errorf("defaults not applied: %+v", out.Sampling)
+	}
+	if sp != (SamplingSpec{}) {
+		t.Errorf("Validate mutated the caller's SamplingSpec: %+v", sp)
+	}
+
+	// Checkpoints need a file to live next to.
+	inline := RunSpec{Profile: &Profile{Name: "p"}, Insts: 40_000,
+		Sampling: &SamplingSpec{Checkpoints: true}}
+	if _, err := inline.Validate(); err == nil {
+		t.Error("checkpoints over an inline profile accepted")
+	}
+}

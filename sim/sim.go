@@ -118,6 +118,14 @@ func WithWarmup(n int64) Option {
 	return func(s *Sim) { s.spec.Warmup = &n }
 }
 
+// WithSampling estimates the measured region by SMARTS-style sampled
+// simulation instead of one continuous detailed run: the report gains
+// an IPC mean with a 95% confidence interval (Report.Sampling). The
+// zero value of every SamplingSpec field selects a documented default.
+func WithSampling(sp SamplingSpec) Option {
+	return func(s *Sim) { s.spec.Sampling = &sp }
+}
+
 // WithProgress streams coarse progress: fn is called about every 1K
 // simulated instructions with the count streamed so far and the total
 // warmup+measure budget. fn runs on the simulation goroutine and is not
@@ -147,11 +155,100 @@ func (s *Sim) Run(ctx context.Context) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
+	if spec.Sampling != nil {
+		return runSampled(ctx, spec, src, mk)
+	}
 	res, err := core.RunSourceProgress(ctx, src, *spec.Warmup, spec.Insts, mk, s.progress)
 	if err != nil {
 		return Report{}, err
 	}
 	return newReport(spec, src.Name(), res), nil
+}
+
+// runSampled executes a validated spec's sampling block through
+// core.RunSampled, resolving the checkpoint side-file first when asked.
+func runSampled(ctx context.Context, spec RunSpec, src workload.Source, mk core.ConfigFactory) (Report, error) {
+	sp := core.SamplingParams{
+		Intervals:     spec.Sampling.Intervals,
+		IntervalInsts: spec.Sampling.IntervalInsts,
+		WarmupInsts:   spec.Sampling.Warmup,
+		DetailWarmup:  spec.Sampling.DetailWarmup,
+	}
+	if spec.Sampling.Checkpoints {
+		fs, ok := src.(trace.FileSource)
+		if !ok {
+			return Report{}, fmt.Errorf("sim: %w: sampling checkpoints need a trace-backed workload, %q is synthetic",
+				ErrInvalidSpec, src.Name())
+		}
+		cf, err := ensureCheckpoints(fs, mk, spec)
+		if err != nil {
+			return Report{}, err
+		}
+		sp.Checkpoints = cf
+	}
+	res, st, err := core.RunSampled(ctx, src, *spec.Warmup, spec.Insts, mk, sp)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := newReport(spec, src.Name(), res)
+	rep.Sampling = &SamplingReport{
+		Intervals:       st.Intervals,
+		IntervalInsts:   st.IntervalInsts,
+		WarmupInsts:     st.WarmupInsts,
+		DetailWarmup:    st.DetailWarmup,
+		CheckpointsUsed: st.CheckpointsUsed,
+		IPCMean:         st.IPCMean,
+		IPCStdDev:       st.IPCStdDev,
+		IPCCI95:         st.IPCCI95,
+		IntervalIPCs:    st.IntervalIPCs,
+	}
+	return rep, nil
+}
+
+// ensureCheckpoints returns the trace's checkpoint side-file for the
+// run's configuration, building and writing it (one continuous
+// functional-warming pass over the trace) when it is missing, corrupt
+// or belongs to a different trace/configuration. The side-file is the
+// cache that amortizes warming across sampled runs: the first request
+// pays for the pass, every later one restores.
+func ensureCheckpoints(fs trace.FileSource, mk core.ConfigFactory, spec RunSpec) (*trace.CheckpointFile, error) {
+	cfgName := mk().Name
+	path := trace.CheckpointPath(fs.Path, cfgName)
+	r, err := trace.OpenFile(fs.Path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := r.Header()
+	r.Close()
+	if cf, err := trace.LoadCheckpoints(path); err == nil {
+		if err := cf.Validate(hdr, cfgName); err == nil {
+			return cf, nil
+		}
+	}
+	upTo := *spec.Warmup + spec.Insts
+	// One point per interval stride, bounded so a huge run cannot bloat
+	// the side-file past 64 snapshots.
+	every := spec.Insts / int64(spec.Sampling.Intervals)
+	if min := upTo / 64; every < min {
+		every = min
+	}
+	if every < 1 {
+		every = 1
+	}
+	points, name, err := core.BuildCheckpoints(fs, mk, every, upTo)
+	if err != nil {
+		return nil, err
+	}
+	cf := &trace.CheckpointFile{
+		TraceName:  hdr.Name,
+		TraceInsts: int64(hdr.Insts),
+		ConfigName: name,
+		Points:     points,
+	}
+	if err := trace.WriteCheckpoints(path, cf); err != nil {
+		return nil, err
+	}
+	return cf, nil
 }
 
 // Run executes a declarative spec: shorthand for FromSpec(spec).Run(ctx).

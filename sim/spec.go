@@ -21,7 +21,10 @@ import (
 // RunSpecSchemaVersion is the current RunSpec schema. Specs written by
 // this package carry it; specs with a larger version are rejected so a
 // new-schema file is never silently misread by an old binary.
-const RunSpecSchemaVersion = 1
+//
+// v2 added the optional "sampling" block (sampled simulation). v1 specs
+// are a strict subset of v2 and are accepted unchanged.
+const RunSpecSchemaVersion = 2
 
 // SweepSpecSchemaVersion is the current SweepSpec schema.
 const SweepSpecSchemaVersion = 1
@@ -87,6 +90,38 @@ type RunSpec struct {
 	// before measurement starts. nil means Insts/2, the paper's
 	// methodology; an explicit 0 measures from a cold pipeline.
 	Warmup *int64 `json:"warmup,omitempty"`
+
+	// Sampling, when set, estimates the measured region by SMARTS-style
+	// sampled simulation instead of simulating it in full detail: evenly
+	// spaced intervals are measured cycle-accurately after functional
+	// warming, and the report gains an IPC mean with a confidence
+	// interval (Report.Sampling). Requires RunSpec schema v2.
+	Sampling *SamplingSpec `json:"sampling,omitempty"`
+}
+
+// SamplingSpec configures sampled simulation (see core.RunSampled): the
+// measured instruction budget is covered by Intervals evenly spaced
+// detailed intervals instead of one continuous detailed run.
+type SamplingSpec struct {
+	// Intervals is the number of measurement intervals (0 = 20; at least
+	// 2 are required for a confidence interval).
+	Intervals int `json:"intervals,omitempty"`
+	// IntervalInsts is the number of instructions measured in detail per
+	// interval (0 = insts/(10*intervals): 10% detailed coverage).
+	IntervalInsts int64 `json:"interval_insts,omitempty"`
+	// Warmup is the functional-warming window before each interval
+	// (0 = 8*interval_insts). Ignored for intervals restored from a
+	// checkpoint, whose state embeds continuous warming.
+	Warmup int64 `json:"warmup,omitempty"`
+	// DetailWarmup is the number of detailed-but-unmeasured instructions
+	// run between warming and measurement (0 = interval_insts/4).
+	DetailWarmup int64 `json:"detail_warmup,omitempty"`
+	// Checkpoints amortizes warming across runs through the trace's
+	// .ckpt side-file: an existing valid side-file is restored from, a
+	// missing or stale one is built (one continuous warming pass) and
+	// written next to the trace. Only trace-backed workloads can carry
+	// checkpoints.
+	Checkpoints bool `json:"checkpoints,omitempty"`
 }
 
 // BeBoPConfig is a custom block-based D-VTAGE geometry, the exploration
@@ -207,10 +242,13 @@ func (s RunSpec) Validate() (RunSpec, error) {
 func (s RunSpec) validate() (RunSpec, *workload.Catalog, error) {
 	out := s
 	switch {
-	case out.SchemaVersion == 0:
+	case out.SchemaVersion >= 0 && out.SchemaVersion <= RunSpecSchemaVersion:
+		// Older schemas are strict subsets of the current one; normalize
+		// them up so the spec a Report carries always states the schema it
+		// was actually run under.
 		out.SchemaVersion = RunSpecSchemaVersion
-	case out.SchemaVersion > RunSpecSchemaVersion:
-		return RunSpec{}, nil, fmt.Errorf("sim: %w: RunSpec schema_version %d is newer than this binary supports (%d)",
+	default:
+		return RunSpec{}, nil, fmt.Errorf("sim: %w: RunSpec schema_version %d is not supported by this binary (max %d)",
 			ErrInvalidSpec, out.SchemaVersion, RunSpecSchemaVersion)
 	}
 
@@ -263,6 +301,44 @@ func (s RunSpec) validate() (RunSpec, *workload.Catalog, error) {
 	} else {
 		w := *out.Warmup // don't alias the caller's int
 		out.Warmup = &w
+	}
+
+	// Sampling: fill the documented defaults, then check the intervals
+	// actually fit the measured region. The normalized block is what Run
+	// executes, so a validated spec round-trips unchanged.
+	if out.Sampling != nil {
+		sp := *out.Sampling // don't alias the caller's struct
+		if sp.Intervals == 0 {
+			sp.Intervals = 20
+		}
+		if sp.Intervals < 2 {
+			return RunSpec{}, nil, fmt.Errorf("sim: %w: sampling needs at least 2 intervals, got %d", ErrInvalidSpec, sp.Intervals)
+		}
+		if sp.IntervalInsts == 0 {
+			sp.IntervalInsts = out.Insts / (10 * int64(sp.Intervals))
+		}
+		if sp.IntervalInsts < 1 {
+			return RunSpec{}, nil, fmt.Errorf("sim: %w: sampling interval_insts must be positive, got %d (budget %d too small for %d intervals?)",
+				ErrInvalidSpec, sp.IntervalInsts, out.Insts, sp.Intervals)
+		}
+		if sp.Warmup < 0 || sp.DetailWarmup < 0 {
+			return RunSpec{}, nil, fmt.Errorf("sim: %w: sampling warmup and detail_warmup must be >= 0, got %d and %d",
+				ErrInvalidSpec, sp.Warmup, sp.DetailWarmup)
+		}
+		if sp.Warmup == 0 {
+			sp.Warmup = 8 * sp.IntervalInsts
+		}
+		if sp.DetailWarmup == 0 {
+			sp.DetailWarmup = sp.IntervalInsts / 4
+		}
+		if stride := out.Insts / int64(sp.Intervals); sp.DetailWarmup+sp.IntervalInsts > stride {
+			return RunSpec{}, nil, fmt.Errorf("sim: %w: %d sampling intervals of %d+%d instructions do not fit the measured budget %d (stride %d)",
+				ErrInvalidSpec, sp.Intervals, sp.DetailWarmup, sp.IntervalInsts, out.Insts, stride)
+		}
+		if sp.Checkpoints && out.Profile != nil {
+			return RunSpec{}, nil, fmt.Errorf("sim: %w: sampling checkpoints need a trace-backed workload; an inline profile has no file to put the side-file next to", ErrInvalidSpec)
+		}
+		out.Sampling = &sp
 	}
 
 	// Configuration: resolve "<config>/<predictor>" shorthand, defaults

@@ -18,6 +18,7 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"bebop/internal/cli"
 	"bebop/internal/perf"
 	"bebop/internal/prof"
 	"bebop/sim"
@@ -32,12 +33,16 @@ func main() {
 	gate := flag.String("gate", "", "reference BENCH_pipeline.json to gate against ('' = no gate)")
 	gateRegress := flag.Float64("gate-max-regress", 0.25,
 		"with -gate: fail if geomean insts/sec regresses by more than this fraction")
+	logFormat := cli.AddLogFormat(flag.CommandLine)
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
 	if *version {
 		fmt.Println(sim.Version())
 		return
+	}
+	if err := cli.InitLogging(*logFormat); err != nil {
+		cli.Fatal(err)
 	}
 
 	// Read the gate reference BEFORE measuring (fail fast on a missing
@@ -49,25 +54,21 @@ func main() {
 	if *gate != "" {
 		var err error
 		if gateRef, err = perf.ReadFile(*gate); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Fatal(err)
 		}
 	}
 
 	stopCPU, err := prof.StartCPU(*cpuprofile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.Fatal(err)
 	}
 	rep, err := perf.Measure(perf.Options{Insts: *insts, Note: *note})
 	stopCPU()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.Fatal(err)
 	}
 	if err := prof.WriteHeap(*memprofile); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.Fatal(err)
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -104,8 +105,7 @@ func main() {
 
 	if *out != "" {
 		if err := rep.WriteFile(*out); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
@@ -113,8 +113,7 @@ func main() {
 	if *gate != "" {
 		ratio, err := perf.Gate(rep, gateRef, *gateRegress)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "perf gate vs %s FAILED: %v\n", *gate, err)
-			os.Exit(1)
+			cli.Fatal(fmt.Errorf("perf gate vs %s FAILED: %w", *gate, err))
 		}
 		fmt.Printf("perf gate vs %s ok: geomean insts/sec ratio %.2f (fail below %.2f)\n",
 			*gate, ratio, 1-*gateRegress)

@@ -12,11 +12,19 @@
 // v1 API:
 //
 //	GET  /healthz               liveness, version, engine statistics, limits
+//	GET  /metrics               Prometheus text exposition of the process registry
 //	GET  /v1/experiments        experiment ids + output formats
 //	GET  /v1/workloads          the workload catalog (synthetic + traces)
 //	GET  /v1/configs            configurations, predictors, Table III names
 //	POST /v1/runs               run one RunSpec; the response is a sim.Report
+//	                            (?telemetry=1 adds the report's telemetry block,
+//	                            ?async=1 answers 202 {id,...} immediately)
+//	GET  /v1/runs/{id}          an async run's state (and report, once done)
+//	GET  /v1/runs/{id}/events   SSE stream: per-interval progress, then done/error
 //	POST /v1/sweeps             run a SweepSpec (?format=json|csv|text)
+//
+// With -pprof the net/http/pprof surface is mounted under /debug/pprof/
+// for live profiling (see README "Profiling the hot loop").
 //
 // Deprecated pre-v1 aliases (kept for existing clients, answered with a
 // Deprecation header): GET /experiments, GET /run?exp=...&w=...
@@ -33,12 +41,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
+	"bebop/internal/cli"
 	"bebop/sim"
 )
 
@@ -50,12 +59,17 @@ func main() {
 	maxRuns := flag.Int("max-runs", 4, "max concurrent POST /v1/runs simulations")
 	par := flag.Int("p", 0, "max parallel sweep simulations (0 = GOMAXPROCS)")
 	traceDir := flag.String("trace-dir", "", "directory of .bbt traces to add as named workloads")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (live CPU/heap profiling)")
+	logFormat := cli.AddLogFormat(flag.CommandLine)
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
 	if *version {
 		fmt.Println(sim.Version())
 		return
+	}
+	if err := cli.InitLogging(*logFormat); err != nil {
+		cli.Fatal(err)
 	}
 
 	s, err := newServer(serverConfig{
@@ -65,9 +79,10 @@ func main() {
 		maxConcurrentRuns: *maxRuns,
 		traceDir:          *traceDir,
 		parallel:          *par,
+		pprof:             *pprofFlag,
 	})
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(err)
 	}
 
 	srv := &http.Server{
@@ -85,9 +100,10 @@ func main() {
 		srv.Shutdown(shCtx)
 	}()
 
-	log.Printf("bebop-serve %s listening on %s (insts=%d, max-insts=%d, run-timeout=%s)",
-		sim.Version(), *addr, s.cfg.defaultInsts, s.cfg.maxInsts, s.cfg.runTimeout)
+	slog.Info("bebop-serve listening", "version", sim.Version(), "addr", *addr,
+		"insts", s.cfg.defaultInsts, "max_insts", s.cfg.maxInsts,
+		"run_timeout", s.cfg.runTimeout, "pprof", s.cfg.pprof)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		cli.Fatal(err)
 	}
 }

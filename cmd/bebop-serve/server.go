@@ -5,13 +5,23 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
 
+	"bebop/internal/prof"
+	"bebop/internal/telemetry"
 	"bebop/sim"
 )
+
+// mRequestSeconds is the whole-server request latency distribution;
+// per-route counts live in the route/code-labeled requests counter the
+// middleware mints (routes are a small fixed set, so the cardinality
+// is bounded by the mux).
+var mRequestSeconds = telemetry.Default.Histogram("bebop_serve_request_seconds",
+	"HTTP request latency in seconds, all routes",
+	[]float64{0.001, 0.005, 0.02, 0.1, 0.5, 2, 10, 60})
 
 // serverConfig is everything main's flags decide.
 type serverConfig struct {
@@ -27,6 +37,8 @@ type serverConfig struct {
 	maxConcurrentRuns int
 	traceDir          string
 	parallel          int
+	// pprof mounts the net/http/pprof surface under /debug/pprof/.
+	pprof bool
 }
 
 // server is the bebop-serve HTTP front end over the bebop/sim SDK.
@@ -34,6 +46,7 @@ type server struct {
 	cfg     serverConfig
 	sweeper *sim.Sweeper
 	runSem  chan struct{}
+	store   *runStore
 }
 
 func newServer(cfg serverConfig) (*server, error) {
@@ -61,6 +74,7 @@ func newServer(cfg serverConfig) (*server, error) {
 		cfg:     cfg,
 		sweeper: sw,
 		runSem:  make(chan struct{}, cfg.maxConcurrentRuns),
+		store:   newRunStore(),
 	}, nil
 }
 
@@ -70,15 +84,71 @@ func newServer(cfg serverConfig) (*server, error) {
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /v1/experiments", s.experimentsV1)
 	mux.HandleFunc("GET /v1/workloads", s.workloadsV1)
 	mux.HandleFunc("GET /v1/configs", s.configsV1)
 	mux.HandleFunc("POST /v1/runs", s.runsV1)
+	mux.HandleFunc("GET /v1/runs/{id}", s.runStatusV1)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.runEventsV1)
 	mux.HandleFunc("POST /v1/sweeps", s.sweepsV1)
 	// Deprecated pre-v1 surface.
 	mux.HandleFunc("GET /experiments", s.deprecated("/v1/experiments", s.experimentsV1))
 	mux.HandleFunc("GET /run", s.deprecated("/v1/sweeps", s.runLegacy))
-	return mux
+	if s.cfg.pprof {
+		mux.Handle("/debug/pprof/", prof.Handler())
+	}
+	return s.withMetrics(mux)
+}
+
+// withMetrics wraps the mux with request accounting: one counter per
+// (route pattern, status code) plus the server-wide latency histogram.
+// The label is the mux pattern, not the raw URL, so unmatched probe
+// paths collapse into a single series instead of minting one per URL.
+func (s *server) withMetrics(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		_, pattern := mux.Handler(req)
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		mux.ServeHTTP(sw, req)
+		telemetry.Default.Counter(fmt.Sprintf(
+			`bebop_serve_requests_total{route=%q,code="%d"}`, pattern, sw.status),
+			"HTTP requests served, by mux route pattern and status code").Inc()
+		mRequestSeconds.Observe(time.Since(start).Seconds())
+	})
+}
+
+// statusWriter records the response status for the metrics middleware.
+// It implements http.Flusher explicitly (interface embedding does not
+// forward it), because the SSE events handler streams through it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// metrics serves the process-wide registry in Prometheus text
+// exposition format: simulation totals, engine cache and worker
+// activity, interval scheduling, trace IO and this server's own
+// request accounting.
+func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := sim.WriteMetrics(w); err != nil {
+		slog.Error("metrics write failed", "err", err)
+	}
 }
 
 func (s *server) deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
@@ -174,6 +244,25 @@ func (s *server) runsV1(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
+	var opts []sim.Option
+	if isTrue(req.URL.Query().Get("telemetry")) {
+		opts = append(opts, sim.WithTelemetry())
+	}
+
+	// ?async=1 detaches the run from the request: the response is an
+	// immediate 202 with the run id, progress streams over
+	// GET /v1/runs/{id}/events, and the report lands at GET /v1/runs/{id}.
+	if isTrue(req.URL.Query().Get("async")) {
+		run := s.store.create(spec)
+		go s.executeAsync(run, opts)
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"id":         run.ID,
+			"status_url": "/v1/runs/" + run.ID,
+			"events_url": "/v1/runs/" + run.ID + "/events",
+		})
+		return
+	}
+
 	// One slot per run, bounded: a burst of requests queues here instead
 	// of oversubscribing the simulator; a client that gives up while
 	// queued costs nothing (ctx is checked before the run starts).
@@ -192,7 +281,7 @@ func (s *server) runsV1(w http.ResponseWriter, req *http.Request) {
 	}
 
 	start := time.Now()
-	rep, err := sim.Run(ctx, spec)
+	rep, err := sim.FromSpec(spec, opts...).Run(ctx)
 	switch {
 	case err == nil:
 	case errors.Is(err, context.DeadlineExceeded):
@@ -208,9 +297,96 @@ func (s *server) runsV1(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
-	log.Printf("run %s/%s insts=%d ok in %s (%s)",
-		rep.Config, rep.Workload, rep.Spec.Insts,
-		time.Since(start).Round(time.Millisecond), req.RemoteAddr)
+	slog.Info("run ok", "config", rep.Config, "workload", rep.Workload,
+		"insts", rep.Spec.Insts, "elapsed", time.Since(start).Round(time.Millisecond),
+		"remote", req.RemoteAddr)
+}
+
+func isTrue(v string) bool {
+	return v == "1" || v == "true" || v == "yes"
+}
+
+// executeAsync runs one detached simulation: it competes for the same
+// run slots as synchronous requests and honours the same -run-timeout,
+// but lives on the background context — an events subscriber
+// disconnecting never cancels the run.
+func (s *server) executeAsync(run *asyncRun, opts []sim.Option) {
+	s.runSem <- struct{}{}
+	defer func() { <-s.runSem }()
+	ctx := context.Background()
+	if s.cfg.runTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.runTimeout)
+		defer cancel()
+	}
+	start := time.Now()
+	opts = append(opts, sim.WithProgress(run.progress))
+	rep, err := sim.FromSpec(run.Spec, opts...).Run(ctx)
+	run.finish(rep, err)
+	if err != nil {
+		slog.Error("async run failed", "id", run.ID, "err", err)
+		return
+	}
+	slog.Info("async run ok", "id", run.ID, "config", rep.Config,
+		"workload", rep.Workload, "insts", rep.Spec.Insts,
+		"elapsed", time.Since(start).Round(time.Millisecond))
+}
+
+// runStatusV1 reports an async run's rolled-up state (and its report,
+// once done).
+func (s *server) runStatusV1(w http.ResponseWriter, req *http.Request) {
+	run := s.store.get(req.PathValue("id"))
+	if run == nil {
+		httpError(w, http.StatusNotFound, "unknown run id", nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, run.statusBody())
+}
+
+// runEventsV1 streams an async run's events as server-sent events: the
+// replay buffer first (a late subscriber still sees the history), then
+// live events as they publish — at least one "progress" event per
+// completed sampling interval — ending with the terminal "done" (data:
+// the sim.Report) or "error" event. The stream also ends when the
+// client disconnects; the run itself keeps going.
+func (s *server) runEventsV1(w http.ResponseWriter, req *http.Request) {
+	run := s.store.get(req.PathValue("id"))
+	if run == nil {
+		httpError(w, http.StatusNotFound, "unknown run id", nil)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported", nil)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	idx := 0
+	for {
+		evs, notify, complete := run.eventsSince(idx)
+		for _, ev := range evs {
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.kind, ev.data); err != nil {
+				return
+			}
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+			idx += len(evs)
+		}
+		if complete {
+			return
+		}
+		select {
+		case <-notify:
+		case <-req.Context().Done():
+			return
+		}
+	}
 }
 
 // sweepsV1 executes a SweepSpec against the shared warm cache. The
@@ -269,7 +445,8 @@ func (s *server) serveSweep(w http.ResponseWriter, req *http.Request, spec sim.S
 		return
 	}
 	fmt.Fprint(w, buf.String())
-	log.Printf("sweep %v ok in %s (%s)", spec.Experiments, time.Since(start).Round(time.Millisecond), req.RemoteAddr)
+	slog.Info("sweep ok", "experiments", spec.Experiments,
+		"elapsed", time.Since(start).Round(time.Millisecond), "remote", req.RemoteAddr)
 }
 
 // clientOrServerError maps unknown-name and budget errors to 400 (the
@@ -293,7 +470,7 @@ func clientOrServerError(w http.ResponseWriter, err error) {
 }
 
 func logClientGone(req *http.Request, err error) {
-	log.Printf("%s %s: client gone: %v", req.Method, req.URL.Path, err)
+	slog.Info("client gone", "method", req.Method, "path", req.URL.Path, "err", err)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"bebop/sim"
+)
+
+// maxReplayProgress bounds how many progress events one async run keeps
+// for late subscribers. Terminal events are always kept, so a client
+// that subscribes after a long run still sees its outcome; only the
+// middle of a very long progress stream is dropped.
+const maxReplayProgress = 512
+
+// maxStoredRuns bounds the run store: once exceeded, the oldest
+// finished runs are evicted (their status and events become 404).
+const maxStoredRuns = 256
+
+// runEvent is one server-sent event of an async run's stream: a kind
+// ("progress", "done" or "error") and its pre-marshaled JSON payload.
+type runEvent struct {
+	kind string
+	data []byte
+}
+
+// asyncRun is one POST /v1/runs?async=1 simulation: the goroutine
+// executing it publishes events, any number of SSE subscribers read
+// them by index from the replay buffer, and GET /v1/runs/{id} reads
+// the rolled-up state.
+type asyncRun struct {
+	ID      string
+	Spec    sim.RunSpec
+	started time.Time
+
+	mu       sync.Mutex
+	events   []runEvent
+	dropped  int // progress events beyond maxReplayProgress
+	notify   chan struct{}
+	state    string // "running" | "done" | "error"
+	streamed int64
+	total    int64
+	report   *sim.Report
+	errMsg   string
+}
+
+// progress records one progress tick and wakes subscribers.
+func (a *asyncRun) progress(streamed, total int64) {
+	blob, _ := json.Marshal(map[string]int64{"streamed": streamed, "total": total})
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.streamed, a.total = streamed, total
+	a.publishLocked(runEvent{kind: "progress", data: blob})
+}
+
+// finish records the terminal state and its event.
+func (a *asyncRun) finish(rep sim.Report, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err != nil {
+		a.state = "error"
+		a.errMsg = err.Error()
+		blob, _ := json.Marshal(map[string]string{"error": a.errMsg})
+		a.publishLocked(runEvent{kind: "error", data: blob})
+		return
+	}
+	a.state = "done"
+	a.report = &rep
+	blob, _ := json.Marshal(rep)
+	a.publishLocked(runEvent{kind: "done", data: blob})
+}
+
+func (a *asyncRun) publishLocked(ev runEvent) {
+	if ev.kind == "progress" && len(a.events) >= maxReplayProgress {
+		a.dropped++
+	} else {
+		a.events = append(a.events, ev)
+	}
+	close(a.notify)
+	a.notify = make(chan struct{})
+}
+
+// eventsSince returns the events at index idx and later, a channel
+// closed on the next publish, and whether the stream is complete (the
+// run reached a terminal state and evs drains the buffer). Subscribers
+// poll by index instead of owning a channel, so a slow or abandoned
+// reader can never block the simulation goroutine.
+func (a *asyncRun) eventsSince(idx int) (evs []runEvent, notify <-chan struct{}, complete bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if idx < len(a.events) {
+		evs = a.events[idx:len(a.events):len(a.events)]
+	}
+	return evs, a.notify, a.state != "running" && idx+len(evs) == len(a.events)
+}
+
+// statusBody is the GET /v1/runs/{id} response.
+func (a *asyncRun) statusBody() map[string]any {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	body := map[string]any{
+		"id":       a.ID,
+		"state":    a.state,
+		"streamed": a.streamed,
+		"total":    a.total,
+		"spec":     a.Spec,
+	}
+	if a.report != nil {
+		body["report"] = a.report
+	}
+	if a.errMsg != "" {
+		body["error"] = a.errMsg
+	}
+	return body
+}
+
+// runStore tracks async runs by id.
+type runStore struct {
+	mu    sync.Mutex
+	seq   int
+	runs  map[string]*asyncRun
+	order []string // creation order, for eviction
+}
+
+func newRunStore() *runStore {
+	return &runStore{runs: map[string]*asyncRun{}}
+}
+
+func (st *runStore) create(spec sim.RunSpec) *asyncRun {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	run := &asyncRun{
+		ID:      fmt.Sprintf("r%06d", st.seq),
+		Spec:    spec,
+		started: time.Now(),
+		notify:  make(chan struct{}),
+		state:   "running",
+	}
+	st.runs[run.ID] = run
+	st.order = append(st.order, run.ID)
+	// Evict the oldest finished runs past the cap; running ones are
+	// never evicted (their goroutine still publishes into them).
+	for len(st.runs) > maxStoredRuns {
+		evicted := false
+		for i, id := range st.order {
+			old := st.runs[id]
+			old.mu.Lock()
+			done := old.state != "running"
+			old.mu.Unlock()
+			if done {
+				delete(st.runs, id)
+				st.order = append(st.order[:i:i], st.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything is still running; let the store grow
+		}
+	}
+	return run
+}
+
+func (st *runStore) get(id string) *asyncRun {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.runs[id]
+}

@@ -1,0 +1,371 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"bebop/sim"
+)
+
+// promSeries parses one Prometheus text exposition document into
+// series-name -> value, failing the test on any malformed line. It
+// also checks each series' family carries a TYPE declaration.
+func promSeries(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	series := map[string]float64{}
+	types := map[string]bool{}
+	line := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})?) (-?[0-9.eE+Inf-]+)$`)
+	for _, l := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(l, "# TYPE ") {
+			f := strings.Fields(l)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line: %q", l)
+			}
+			types[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(l, "#") {
+			continue
+		}
+		m := line.FindStringSubmatch(l)
+		if m == nil {
+			t.Fatalf("malformed series line: %q", l)
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			t.Fatalf("series %q value %q: %v", m[1], m[2], err)
+		}
+		series[m[1]] = v
+		family, _, _ := strings.Cut(m[1], "{")
+		family = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(family, "_bucket"), "_sum"), "_count")
+		if !types[family] {
+			t.Fatalf("series %q has no TYPE declaration for family %q", m[1], family)
+		}
+	}
+	return series
+}
+
+func scrapeMetrics(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d: %s", resp.StatusCode, blob)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("GET /metrics content-type %q, want text/plain", ct)
+	}
+	return promSeries(t, string(blob))
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := testServer(t, serverConfig{defaultInsts: 5_000, maxInsts: 20_000})
+
+	before := scrapeMetrics(t, ts.URL)
+	resp, blob := postJSON(t, ts.URL+"/v1/runs", `{"workload":"swim","insts":5000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run failed: %d: %s", resp.StatusCode, blob)
+	}
+	after := scrapeMetrics(t, ts.URL)
+
+	// The simulation counters must have advanced by at least this run.
+	if d := after["bebop_pipeline_runs_total"] - before["bebop_pipeline_runs_total"]; d < 1 {
+		t.Errorf("bebop_pipeline_runs_total advanced by %v, want >= 1", d)
+	}
+	if d := after["bebop_pipeline_insts_total"] - before["bebop_pipeline_insts_total"]; d < 5000 {
+		t.Errorf("bebop_pipeline_insts_total advanced by %v, want >= 5000", d)
+	}
+	// The middleware accounted for the run request and the first scrape.
+	if after[`bebop_serve_requests_total{route="POST /v1/runs",code="200"}`] < 1 {
+		t.Errorf("request counter for POST /v1/runs missing:\n%v", after)
+	}
+	if after[`bebop_serve_requests_total{route="GET /metrics",code="200"}`] < 1 {
+		t.Errorf("request counter for GET /metrics missing")
+	}
+	if after["bebop_serve_request_seconds_count"] < 2 {
+		t.Errorf("request latency histogram count %v, want >= 2", after["bebop_serve_request_seconds_count"])
+	}
+}
+
+type sseEvent struct {
+	kind string
+	data string
+}
+
+// readSSE consumes a server-sent-event stream until it closes.
+func readSSE(t *testing.T, r io.Reader) []sseEvent {
+	t.Helper()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	var evs []sseEvent
+	var cur sseEvent
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.kind != "" {
+				evs = append(evs, cur)
+				cur = sseEvent{}
+			}
+		case strings.HasPrefix(line, "event: "):
+			cur.kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading SSE stream: %v", err)
+	}
+	return evs
+}
+
+func startAsyncRun(t *testing.T, ts *httptest.Server, body string) (id, eventsURL string) {
+	t.Helper()
+	resp, blob := postJSON(t, ts.URL+"/v1/runs?async=1", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async run: status %d, want 202: %s", resp.StatusCode, blob)
+	}
+	var accepted struct {
+		ID        string `json:"id"`
+		StatusURL string `json:"status_url"`
+		EventsURL string `json:"events_url"`
+	}
+	if err := json.Unmarshal(blob, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	if accepted.ID == "" || accepted.EventsURL == "" {
+		t.Fatalf("202 body incomplete: %s", blob)
+	}
+	return accepted.ID, accepted.EventsURL
+}
+
+func TestV1AsyncRunEventsStream(t *testing.T) {
+	ts := testServer(t, serverConfig{defaultInsts: 5_000, maxInsts: 200_000})
+	id, eventsURL := startAsyncRun(t,
+		ts, `{"workload":"swim","insts":40000,"sampling":{"intervals":4}}`)
+
+	resp, err := http.Get(ts.URL + eventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type %q", ct)
+	}
+	evs := readSSE(t, resp.Body)
+	if len(evs) == 0 {
+		t.Fatal("no events streamed")
+	}
+
+	// Sampled run: one progress event per completed interval, strictly
+	// increasing, then the terminal done event carrying the report.
+	var progress []int64
+	var total int64
+	for _, ev := range evs[:len(evs)-1] {
+		if ev.kind != "progress" {
+			t.Fatalf("mid-stream event %q, want progress: %+v", ev.kind, ev)
+		}
+		var p struct{ Streamed, Total int64 }
+		if err := json.Unmarshal([]byte(ev.data), &p); err != nil {
+			t.Fatalf("progress payload %q: %v", ev.data, err)
+		}
+		progress = append(progress, p.Streamed)
+		total = p.Total
+	}
+	if len(progress) != 4 {
+		t.Fatalf("got %d progress events, want one per sampling interval (4): %v", len(progress), progress)
+	}
+	for i := 1; i < len(progress); i++ {
+		if progress[i] <= progress[i-1] {
+			t.Fatalf("progress not strictly increasing: %v", progress)
+		}
+	}
+	if progress[len(progress)-1] != total {
+		t.Fatalf("final progress %d != total %d", progress[len(progress)-1], total)
+	}
+
+	last := evs[len(evs)-1]
+	if last.kind != "done" {
+		t.Fatalf("terminal event %q, want done (data: %s)", last.kind, last.data)
+	}
+	var rep sim.Report
+	if err := json.Unmarshal([]byte(last.data), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sampling == nil || rep.Sampling.Intervals != 4 || rep.Cycles == 0 {
+		t.Fatalf("done report: %+v", rep)
+	}
+
+	// The status endpoint agrees, and a late subscriber replays the
+	// full history from the buffer.
+	sresp, err := http.Get(ts.URL + "/v1/runs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var status struct {
+		State  string      `json:"state"`
+		Report *sim.Report `json:"report"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status.State != "done" || status.Report == nil || status.Report.Cycles != rep.Cycles {
+		t.Fatalf("status after done: %+v", status)
+	}
+
+	resp2, err := http.Get(ts.URL + eventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	replay := readSSE(t, resp2.Body)
+	if len(replay) != len(evs) {
+		t.Fatalf("replay returned %d events, live stream had %d", len(replay), len(evs))
+	}
+
+	if resp, _ := postJSON(t, ts.URL+"/v1/runs?async=1", `{"workload":"nope"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("async bad spec: status %d, want 400", resp.StatusCode)
+	}
+	uresp, err := http.Get(ts.URL + "/v1/runs/r999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uresp.Body.Close()
+	if uresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown run id: status %d, want 404", uresp.StatusCode)
+	}
+}
+
+// TestV1AsyncEventsClientDisconnect pins two contracts: a subscriber
+// dropping its SSE connection releases the handler (the server can
+// shut down), and the detached run itself keeps going to completion.
+func TestV1AsyncEventsClientDisconnect(t *testing.T) {
+	s, err := newServer(serverConfig{defaultInsts: 5_000, maxInsts: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	id, eventsURL := startAsyncRun(t,
+		ts, `{"workload":"swim","insts":40000,"sampling":{"intervals":8}}`)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+eventsURL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read a little, then walk away mid-stream.
+	buf := make([]byte, 1)
+	resp.Body.Read(buf)
+	cancel()
+	resp.Body.Close()
+
+	// The run must finish despite the lost subscriber.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		run := s.store.get(id)
+		if run == nil {
+			t.Fatal("run vanished from the store")
+		}
+		run.mu.Lock()
+		state := run.state
+		run.mu.Unlock()
+		if state == "done" {
+			break
+		}
+		if state == "error" {
+			t.Fatalf("run failed: %+v", run.statusBody())
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("run did not complete after subscriber disconnect")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The cancelled handler must wind down promptly: Close blocks until
+	// every handler returns.
+	done := make(chan struct{})
+	go func() { ts.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not release the disconnected events handler")
+	}
+}
+
+func TestV1RunTelemetryParam(t *testing.T) {
+	ts := testServer(t, serverConfig{defaultInsts: 5_000, maxInsts: 20_000})
+	body := `{"workload":"gcc","config":"eole-bebop/Medium","insts":8000}`
+
+	resp, blob := postJSON(t, ts.URL+"/v1/runs", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, blob)
+	}
+	var plain sim.Report
+	if err := json.Unmarshal(blob, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Telemetry != nil {
+		t.Fatal("telemetry block present without ?telemetry=1")
+	}
+
+	resp, blob = postJSON(t, ts.URL+"/v1/runs?telemetry=1", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, blob)
+	}
+	var traced sim.Report
+	if err := json.Unmarshal(blob, &traced); err != nil {
+		t.Fatal(err)
+	}
+	if traced.Telemetry == nil || len(traced.Telemetry.Spans) == 0 {
+		t.Fatalf("?telemetry=1 report has no telemetry block: %s", blob)
+	}
+	if traced.Cycles != plain.Cycles || traced.BranchMispredicts != plain.BranchMispredicts {
+		t.Fatalf("telemetry perturbed the simulated statistics: %+v vs %+v", traced, plain)
+	}
+}
+
+func TestPprofGatedByFlag(t *testing.T) {
+	off := testServer(t, serverConfig{defaultInsts: 5_000})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without -pprof: status %d, want 404", resp.StatusCode)
+	}
+
+	on := testServer(t, serverConfig{defaultInsts: 5_000, pprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(blob), "goroutine") {
+		t.Fatalf("pprof index with -pprof: status %d body %.200s", resp.StatusCode, blob)
+	}
+}

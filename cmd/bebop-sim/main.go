@@ -36,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"bebop/internal/cli"
 	"bebop/sim"
 )
 
@@ -68,12 +69,18 @@ func main() {
 	pol := flag.String("policy", "Ideal", "custom: recovery policy ("+strings.Join(sim.Policies(), ", ")+")")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	memprofile := flag.String("memprofile", "", "write a post-run heap profile to this file")
+	telemetryFlag := flag.Bool("telemetry", false,
+		"record run telemetry: print the phase span tree and a metrics snapshot to stderr (with -json the report also carries the telemetry block)")
+	logFormat := cli.AddLogFormat(flag.CommandLine)
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
 	if *version {
 		fmt.Println(sim.Version())
 		return
+	}
+	if err := cli.InitLogging(*logFormat); err != nil {
+		fatal(err)
 	}
 
 	if *list {
@@ -135,8 +142,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var opts []sim.Option
+	if *telemetryFlag {
+		opts = append(opts, sim.WithTelemetry())
+	}
 	start := time.Now()
-	rep, err := sim.Run(context.Background(), spec)
+	rep, err := sim.FromSpec(spec, opts...).Run(context.Background())
 	elapsed := time.Since(start)
 	stopCPU()
 	if err != nil {
@@ -144,6 +155,17 @@ func main() {
 	}
 	if err := sim.WriteHeapProfile(*memprofile); err != nil {
 		fatal(err)
+	}
+	if *telemetryFlag {
+		// Telemetry goes to stderr so the report on stdout stays pipeable.
+		fmt.Fprintln(os.Stderr, "telemetry spans:")
+		if err := sim.WriteSpanTree(os.Stderr, rep.Telemetry); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "metrics snapshot:")
+		if err := sim.WriteMetrics(os.Stderr); err != nil {
+			fatal(err)
+		}
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -273,10 +295,7 @@ func runProbe(family string, base sim.RunSpec, tracePath string, asJSON bool) er
 	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(2)
-}
+func fatal(err error) { cli.Fatal(err) }
 
 func printReport(r sim.Report) {
 	fmt.Printf("config            %s\n", r.Config)

@@ -19,11 +19,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
+	"bebop/internal/cli"
 	"bebop/sim"
 )
 
@@ -37,12 +39,17 @@ func main() {
 	specPath := flag.String("spec", "", "run this JSON SweepSpec file (replaces -exp/-w/-n/-trace-dir)")
 	timeout := flag.Duration("timeout", 0, "stop scheduling new simulations after this duration; in-flight ones finish (0 = none)")
 	progress := flag.Bool("progress", false, "stream per-simulation progress to stderr")
+	telemetryFlag := flag.Bool("telemetry", false, "print a process metrics snapshot to stderr after the sweep")
+	logFormat := cli.AddLogFormat(flag.CommandLine)
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
 	if *version {
 		fmt.Println(sim.Version())
 		return
+	}
+	if err := cli.InitLogging(*logFormat); err != nil {
+		fatal(err)
 	}
 
 	spec := sim.SweepSpec{Insts: *n, TraceDir: *traceDir}
@@ -79,8 +86,9 @@ func main() {
 			if p.Cached || p.Err != nil {
 				return
 			}
-			fmt.Fprintf(os.Stderr, "[%3d/%3d] %s %s (%s)\n",
-				p.Completed, p.Total, p.Config, p.Workload, p.Elapsed.Round(time.Millisecond))
+			slog.Info("simulated", "completed", p.Completed, "total", p.Total,
+				"config", p.Config, "workload", p.Workload,
+				"elapsed", p.Elapsed.Round(time.Millisecond))
 		}
 	}
 	sw, err := sim.NewSweeper(opts)
@@ -117,14 +125,26 @@ func main() {
 				fatal(err)
 			}
 		}
+		writeTelemetry(*telemetryFlag)
 		return
 	}
 	if err := sw.Write(ctx, os.Stdout, *format, spec); err != nil {
 		fatal(err)
 	}
+	writeTelemetry(*telemetryFlag)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(2)
+// writeTelemetry dumps the process metrics registry to stderr after the
+// sweep: pipeline totals, engine cache hit rates and worker activity
+// accumulated over every simulation the sweep ran.
+func writeTelemetry(enabled bool) {
+	if !enabled {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "metrics snapshot:")
+	if err := sim.WriteMetrics(os.Stderr); err != nil {
+		fatal(err)
+	}
 }
+
+func fatal(err error) { cli.Fatal(err) }

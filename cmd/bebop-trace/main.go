@@ -25,6 +25,7 @@ import (
 	"os"
 	"strings"
 
+	"bebop/internal/cli"
 	"bebop/internal/core"
 	"bebop/internal/isa"
 	"bebop/internal/trace"
@@ -63,8 +64,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		cli.Fatal(err)
 	}
 }
 
@@ -81,6 +81,14 @@ Subcommands:
 
 Run 'bebop-trace <subcommand> -h' for flags.
 `)
+}
+
+// parseFlags finishes a subcommand's flag set: it registers the shared
+// -log-format flag, parses args and installs the diagnostic logger.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	format := cli.AddLogFormat(fs)
+	fs.Parse(args)
+	return cli.InitLogging(*format)
 }
 
 // openBench builds the instruction stream for a workload name: a
@@ -110,7 +118,9 @@ func cmdRecord(args []string) error {
 	out := fs.String("o", "", "output path (default <bench>-<n>.bbt)")
 	frame := fs.Int("frame", trace.DefaultFrameInsts, "instructions per frame")
 	uncompressed := fs.Bool("uncompressed", false, "disable flate compression of frame payloads")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	g, seed, err := openBench(*bench, *n)
 	if err != nil {
@@ -159,7 +169,9 @@ func cmdReplay(args []string) error {
 		"predictor ("+strings.Join(sim.Predictors(), ", ")+") or Table III config")
 	n := fs.Int64("n", 0, "measured instructions (0 = derive from the trace: 2/3 measure, 1/3 warmup)")
 	asJSON := fs.Bool("json", false, "emit the result as JSON")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	if *path == "" {
 		return fmt.Errorf("replay: -trace is required")
@@ -209,7 +221,9 @@ func cmdReplay(args []string) error {
 func cmdInfo(args []string) error {
 	fs := flag.NewFlagSet("bebop-trace info", flag.ExitOnError)
 	path := fs.String("trace", "", ".bbt trace to describe (required)")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	if *path == "" {
 		return fmt.Errorf("info: -trace is required")
 	}
@@ -250,7 +264,9 @@ func cmdCheckpoint(args []string) error {
 	pred := fs.String("predictor", "",
 		"predictor ("+strings.Join(sim.Predictors(), ", ")+") or Table III config")
 	every := fs.Int64("every", 0, "instructions between snapshots (0 = trace length / 64)")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	if *path == "" {
 		return fmt.Errorf("checkpoint: -trace is required")
@@ -313,7 +329,9 @@ func cmdDump(args []string) error {
 	n := fs.Int64("n", 50, "instructions to emit")
 	summary := fs.Bool("summary", false, "print per-class totals instead of a listing")
 	skip := fs.Int64("skip", 0, "skip this many leading instructions (trace: uses the frame index)")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	var stream isa.Stream
 	switch {

@@ -24,8 +24,18 @@ import (
 	"bebop/internal/pipeline"
 	"bebop/internal/predictor"
 	"bebop/internal/specwindow"
+	"bebop/internal/telemetry"
 	"bebop/internal/util"
 	"bebop/internal/workload"
+)
+
+// Pool-reuse counters: how often a run got a recycled processor versus
+// paying for a fresh pipeline.New.
+var (
+	mProcReused = telemetry.Default.Counter(`bebop_core_proc_pool_total{outcome="reused"}`,
+		"Processor acquisitions by outcome (reused = recycled from the pool).")
+	mProcNew = telemetry.Default.Counter(`bebop_core_proc_pool_total{outcome="new"}`,
+		"Processor acquisitions by outcome (reused = recycled from the pool).")
 )
 
 // ConfigFactory builds a fresh pipeline configuration. Predictors are
@@ -56,8 +66,10 @@ func acquireProc(cfg pipeline.Config, stream isa.Stream) *pipeline.Processor {
 	if v := procPool.Get(); v != nil {
 		p := v.(*pipeline.Processor)
 		p.Reset(cfg, stream)
+		mProcReused.Inc()
 		return p
 	}
+	mProcNew.Inc()
 	return pipeline.New(cfg, stream)
 }
 
@@ -192,8 +204,10 @@ func RunSourceProgress(ctx context.Context, src workload.Source, warmup, insts i
 	if ctx.Done() != nil || on != nil {
 		run = &cancelStream{inner: stream, ctx: ctx, total: warmup + insts, on: on}
 	}
+	sp := telemetry.TraceFrom(ctx).Start("detailed").SetInsts(warmup + insts)
 	proc := acquireProc(mk(), run)
 	r := proc.RunWarm(warmup, 0)
+	sp.End()
 	proc.Release()
 	procPool.Put(proc)
 	if es, ok := run.(errStream); ok && es.Err() != nil {

@@ -6,11 +6,25 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"bebop/internal/isa"
 	"bebop/internal/pipeline"
+	"bebop/internal/telemetry"
 	"bebop/internal/util"
 	"bebop/internal/workload"
+)
+
+// Interval-shard telemetry: how intervals were positioned and how long
+// each shard took wall-clock (per-worker, so parallel shards overlap).
+var (
+	mIntervalCkpt = telemetry.Default.Counter(`bebop_core_intervals_total{start="checkpoint"}`,
+		"Sampled intervals by positioning strategy.")
+	mIntervalWarmed = telemetry.Default.Counter(`bebop_core_intervals_total{start="warmed"}`,
+		"Sampled intervals by positioning strategy.")
+	mIntervalSeconds = telemetry.Default.Histogram("bebop_core_interval_seconds",
+		"Wall-clock seconds per sampled interval shard.",
+		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30})
 )
 
 // SamplingParams configures SMARTS-style sampled simulation: instead of
@@ -41,6 +55,12 @@ type SamplingParams struct {
 	Checkpoints CheckpointSource
 	// Parallelism caps the worker count (0 = GOMAXPROCS).
 	Parallelism int
+	// OnInterval, when set, is invoked after each interval completes with
+	// the number of finished intervals and the total. Calls are
+	// serialized and done is strictly increasing, so callers can stream
+	// progress without their own locking. It runs on worker goroutines;
+	// keep it fast.
+	OnInterval func(done, total int)
 }
 
 // CheckpointSource yields the snapshot with the largest instruction
@@ -168,6 +188,9 @@ func RunSampled(ctx context.Context, src workload.Source, warmup, insts int64, m
 	if nw > sp.Intervals {
 		nw = sp.Intervals
 	}
+	root := telemetry.TraceFrom(ctx).Start("sampled").SetInsts(insts)
+	var progMu sync.Mutex
+	progDone := 0
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(nw)
@@ -179,8 +202,16 @@ func RunSampled(ctx context.Context, src workload.Source, warmup, insts int64, m
 					outs[i].err = err
 					continue
 				}
-				res, used, err := runInterval(ctx, src, warmup+int64(i)*stride, mk, sp)
+				t0 := time.Now()
+				res, used, err := runInterval(ctx, src, warmup+int64(i)*stride, i, mk, sp)
+				mIntervalSeconds.Observe(time.Since(t0).Seconds())
 				outs[i] = intervalOut{res: res, usedCkpt: used, err: err}
+				if sp.OnInterval != nil && err == nil {
+					progMu.Lock()
+					progDone++
+					sp.OnInterval(progDone, sp.Intervals)
+					progMu.Unlock()
+				}
 			}
 		}()
 	}
@@ -189,6 +220,7 @@ func RunSampled(ctx context.Context, src workload.Source, warmup, insts int64, m
 	}
 	close(idxCh)
 	wg.Wait()
+	root.End()
 
 	// Reduce in interval order: deterministic under any parallelism.
 	var well util.Welford
@@ -207,6 +239,9 @@ func RunSampled(ctx context.Context, src workload.Source, warmup, insts int64, m
 		}
 		if o.usedCkpt {
 			st.CheckpointsUsed++
+			mIntervalCkpt.Inc()
+		} else {
+			mIntervalWarmed.Inc()
 		}
 		well.Add(o.res.IPC)
 		st.IntervalIPCs = append(st.IntervalIPCs, o.res.IPC)
@@ -229,8 +264,10 @@ func RunSampled(ctx context.Context, src workload.Source, warmup, insts int64, m
 // execution starts at absolute instruction s: position cheaply (seek,
 // fast-forward or checkpoint restore), functionally warm up to s, then
 // run DetailWarmup+IntervalInsts instructions in detail, measuring the
-// final IntervalInsts.
-func runInterval(ctx context.Context, src workload.Source, s int64, mk ConfigFactory, sp SamplingParams) (pipeline.Result, bool, error) {
+// final IntervalInsts. idx is the interval index, used only to tag
+// telemetry spans.
+func runInterval(ctx context.Context, src workload.Source, s int64, idx int, mk ConfigFactory, sp SamplingParams) (pipeline.Result, bool, error) {
+	tr := telemetry.TraceFrom(ctx)
 	stream, err := src.Open(s + sp.DetailWarmup + sp.IntervalInsts)
 	if err != nil {
 		return pipeline.Result{}, false, err
@@ -257,6 +294,7 @@ func runInterval(ctx context.Context, src workload.Source, s int64, mk ConfigFac
 	usedCkpt := false
 	if sp.Checkpoints != nil {
 		if ck := sp.Checkpoints.Nearest(s); ck != nil {
+			rsp := tr.Start("restore").SetInterval(idx).SetInsts(ck.InstOffset)
 			if sk, ok := stream.(instSeeker); ok {
 				if err := sk.SeekInst(ck.InstOffset); err != nil {
 					return finish(pipeline.Result{}, false, err)
@@ -268,6 +306,7 @@ func runInterval(ctx context.Context, src workload.Source, s int64, mk ConfigFac
 			if err := proc.Restore(ck); err != nil {
 				return finish(pipeline.Result{}, false, err)
 			}
+			rsp.End()
 			pos = ck.InstOffset
 			usedCkpt = true
 		}
@@ -278,6 +317,7 @@ func runInterval(ctx context.Context, src workload.Source, s int64, mk ConfigFac
 			ff = 0
 		}
 		if ff > 0 {
+			fsp := tr.Start("fast-forward").SetInterval(idx).SetInsts(ff)
 			if sk, ok := stream.(instSeeker); ok {
 				if err := sk.SeekInst(ff); err != nil {
 					return finish(pipeline.Result{}, false, err)
@@ -286,17 +326,22 @@ func runInterval(ctx context.Context, src workload.Source, s int64, mk ConfigFac
 				return finish(pipeline.Result{}, false, fmt.Errorf(
 					"stream ended at instruction %d, interval warmup starts at %d", n, ff))
 			}
+			fsp.End()
 		}
 		pos = ff
 	}
 	if gap := s - pos; gap > 0 {
+		wsp := tr.Start("warming").SetInterval(idx).SetInsts(gap)
 		if n := proc.Warm(gap); n != gap {
 			return finish(pipeline.Result{}, false, fmt.Errorf(
 				"stream ended %d instructions into a %d-instruction warmup", n, gap))
 		}
+		wsp.End()
 	}
 	ls.limit = sp.DetailWarmup + sp.IntervalInsts
+	dsp := tr.Start("detailed").SetInterval(idx).SetInsts(ls.limit)
 	r := proc.RunWarm(sp.DetailWarmup, 0)
+	dsp.End()
 	// The warmup boundary is detected at cycle granularity, so up to a
 	// commit-width of instructions can land on the warm side of it — the
 	// same slop every RunWarm-based measurement in this package has. A
@@ -341,6 +386,11 @@ func addResult(agg, src *pipeline.Result) {
 	agg.VP.UsedCorrect += src.VP.UsedCorrect
 	agg.VP.SpecWindowHits += src.VP.SpecWindowHits
 	agg.VP.SpecWindowProbes += src.VP.SpecWindowProbes
+	// Per-interval H2P attributions coalesce by PC. Each input is already
+	// top-N truncated, so merged counts are lower bounds for PCs outside
+	// some interval's top-N; the merged list is left uncapped (it is
+	// bounded by intervals × topN) and callers may re-truncate.
+	agg.H2P = pipeline.MergeH2P(agg.H2P, src.H2P, 0)
 }
 
 func closeStream(s isa.Stream) error {

@@ -21,6 +21,24 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"bebop/internal/telemetry"
+)
+
+// Registry mirrors of the engine counters, plus live occupancy gauges.
+// Every Engine instance in the process feeds the same series: they
+// describe the process's simulation substrate, not one engine value.
+var (
+	mJobHits = telemetry.Default.Counter(`bebop_engine_jobs_total{result="hit"}`,
+		"Jobs resolved, by outcome (hit = cache or in-flight dedup).")
+	mJobMisses = telemetry.Default.Counter(`bebop_engine_jobs_total{result="miss"}`,
+		"Jobs resolved, by outcome (hit = cache or in-flight dedup).")
+	mJobRuns = telemetry.Default.Counter("bebop_engine_runs_total",
+		"Job executions actually started (a cancelled queued miss never runs).")
+	mQueued = telemetry.Default.Gauge("bebop_engine_queued_jobs",
+		"Jobs holding a cache entry while waiting for a worker slot.")
+	mBusy = telemetry.Default.Gauge("bebop_engine_busy_workers",
+		"Worker slots currently executing a job.")
 )
 
 // Job is one unit of schedulable work: a cacheable computation identified
@@ -210,6 +228,7 @@ func (e *Engine[V]) resolve(ctx context.Context, job Job[V]) (V, bool, error) {
 					continue
 				}
 				e.hits.Add(1)
+				mJobHits.Inc()
 				return ent.val, true, nil
 			case <-ctx.Done():
 				return zero, false, ctx.Err()
@@ -219,13 +238,17 @@ func (e *Engine[V]) resolve(ctx context.Context, job Job[V]) (V, bool, error) {
 		sh.m[key] = ent
 		sh.mu.Unlock()
 		e.misses.Add(1)
+		mJobMisses.Inc()
 
 		// Claim a worker slot; on cancellation unpublish the entry so a
 		// later attempt can retry, and release any waiters with the error
 		// (they retry, see above).
+		mQueued.Add(1)
 		select {
 		case e.sem <- struct{}{}:
+			mQueued.Add(-1)
 		case <-ctx.Done():
+			mQueued.Add(-1)
 			sh.remove(key)
 			ent.err = ctx.Err()
 			close(ent.done)
@@ -233,7 +256,10 @@ func (e *Engine[V]) resolve(ctx context.Context, job Job[V]) (V, bool, error) {
 		}
 
 		e.runs.Add(1)
+		mJobRuns.Inc()
+		mBusy.Add(1)
 		val, err := job.Run(ctx)
+		mBusy.Add(-1)
 		<-e.sem
 		if err != nil {
 			sh.remove(key)

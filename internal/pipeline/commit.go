@@ -64,6 +64,9 @@ func (p *Processor) commitStage() {
 
 		if mispredictedValue {
 			p.stats.ValueMispredicts++
+			if p.h2pVal != nil {
+				p.h2pVal.bump(u.PC)
+			}
 			// Squash younger instructions; the offender's own instruction
 			// commits (its architectural value is now known).
 			p.flushFrom(flushBoundary)
@@ -84,11 +87,17 @@ func (p *Processor) retireInstControl(di *dynInst) {
 		if di.brPredOK {
 			if di.brPred.Taken != in.Taken {
 				p.stats.BrMispredicts++
+				if p.h2pBr != nil {
+					p.h2pBr.bump(in.PC)
+				}
 			}
 			p.tage.Update(in.PC, &p.hist, &di.brPred, in.Taken)
 		}
 	} else if di.uops[len(di.uops)-1].BrMispredicted {
 		p.stats.BrMispredicts++
+		if p.h2pBr != nil {
+			p.h2pBr.bump(in.PC)
+		}
 	}
 	if in.Taken && in.Kind != isa.BranchReturn {
 		p.btb.Insert(in.PC, in.Target)

@@ -100,6 +100,14 @@ type Config struct {
 	// folded registers. The two paths are bit-identical; this knob exists
 	// so the differential tests can prove it on whole-pipeline runs.
 	DisableIncrementalFolds bool
+
+	// CollectH2P enables per-PC hard-to-predict attribution: every branch
+	// and value misprediction in the measured window is charged to its
+	// static PC and Result.H2P reports the top-N offenders. Attribution
+	// is an observer — it never changes timing or any other statistic.
+	CollectH2P bool
+	// H2PTopN caps Result.H2P entry lists (0 = 16).
+	H2PTopN int
 }
 
 // DefaultConfig returns the Baseline_6_60 configuration of Table I.

@@ -92,6 +92,10 @@ type Processor struct {
 	warmingUOps      []WarmUOp
 
 	stats Stats
+	// H2P attribution tables (nil unless cfg.CollectH2P); cleared at the
+	// warmup boundary so they cover exactly the measured window.
+	h2pBr  *h2pTable
+	h2pVal *h2pTable
 	// Measurement window: counters at the warmup boundary are snapshotted
 	// and subtracted, mirroring the paper's "warm 50M, measure 100M"
 	// methodology.
@@ -131,6 +135,9 @@ type Result struct {
 	UPC       float64 // µ-ops per cycle
 	VP        VPStats
 	BrMispPKI float64 // branch mispredictions per kilo-instruction
+	// H2P is per-PC misprediction attribution; nil unless
+	// Config.CollectH2P (a pointer so Result stays comparable with ==).
+	H2P       *H2PResult
 	L1DMisses uint64
 	L2Misses  uint64
 	// MSHR merges per level: misses that coalesced into an already
@@ -158,7 +165,28 @@ func New(cfg Config, stream isa.Stream) *Processor {
 	p.seqCtr = 1
 	p.execEvents = 1
 	p.initHistoryFolds()
+	p.initH2P()
 	return p
+}
+
+// initH2P sizes the attribution tables to the config: allocated (or
+// cleared in place on a pooled processor) when CollectH2P, dropped
+// otherwise.
+func (p *Processor) initH2P() {
+	if !p.cfg.CollectH2P {
+		p.h2pBr, p.h2pVal = nil, nil
+		return
+	}
+	if p.h2pBr == nil {
+		p.h2pBr = &h2pTable{}
+	} else {
+		p.h2pBr.clear()
+	}
+	if p.h2pVal == nil {
+		p.h2pVal = &h2pTable{}
+	} else {
+		p.h2pVal.clear()
+	}
 }
 
 // initHistoryFolds attaches the incremental folded-register file to the
@@ -225,6 +253,7 @@ func (p *Processor) Reset(cfg Config, stream isa.Stream) {
 	p.execEvents = 1
 	p.hist.Reset()
 	p.initHistoryFolds()
+	p.initH2P()
 	p.streamDone = false
 	p.fetchStallUntil = 0
 	p.pendingRedirectSeq = 0
@@ -307,6 +336,10 @@ func (p *Processor) markWarm() {
 	p.warmL2 = p.mem.L2.Misses
 	p.warmL1DMerge = p.mem.L1D.MSHRMerges
 	p.warmL2Merge = p.mem.L2.MSHRMerges
+	if p.h2pBr != nil {
+		p.h2pBr.clear()
+		p.h2pVal.clear()
+	}
 	if p.cfg.VP != nil {
 		p.cfg.VP.ResetStats()
 	}
@@ -352,6 +385,19 @@ func (p *Processor) result() Result {
 		r.VP = p.cfg.VP.Stats()
 		r.StorageBits = p.cfg.VP.StorageBits()
 	}
+	if p.h2pBr != nil {
+		n := p.cfg.H2PTopN
+		if n <= 0 {
+			n = defaultH2PTopN
+		}
+		r.H2P = &H2PResult{
+			Branches:         p.h2pBr.topN(n),
+			Values:           p.h2pVal.topN(n),
+			BranchPCsDropped: p.h2pBr.dropped,
+			ValuePCsDropped:  p.h2pVal.dropped,
+		}
+	}
+	flushTelemetry(&r.Stats)
 	return r
 }
 

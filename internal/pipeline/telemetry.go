@@ -1,0 +1,43 @@
+package pipeline
+
+import "bebop/internal/telemetry"
+
+// Registry counters for the cycle-level model. The hot loop never
+// touches these: Stats accumulates in plain struct fields as before,
+// and result() flushes the measured window here once per run.
+var (
+	mRuns = telemetry.Default.Counter("bebop_pipeline_runs_total",
+		"Completed processor runs (plain, warm and per-interval).")
+	mCycles = telemetry.Default.Counter("bebop_pipeline_cycles_total",
+		"Simulated cycles in measured windows.")
+	mInsts = telemetry.Default.Counter("bebop_pipeline_insts_total",
+		"Retired instructions in measured windows.")
+	mUOps = telemetry.Default.Counter("bebop_pipeline_uops_total",
+		"Retired micro-ops in measured windows.")
+	mBrMisp = telemetry.Default.Counter(`bebop_pipeline_mispredicts_total{kind="branch"}`,
+		"Mispredictions in measured windows, by kind.")
+	mValMisp = telemetry.Default.Counter(`bebop_pipeline_mispredicts_total{kind="value"}`,
+		"Mispredictions in measured windows, by kind.")
+	mMemFlushes = telemetry.Default.Counter(`bebop_pipeline_flushes_total{cause="memory_order"}`,
+		"Pipeline flushes in measured windows, by cause.")
+	mValFlushes = telemetry.Default.Counter(`bebop_pipeline_flushes_total{cause="value_mispredict"}`,
+		"Pipeline flushes in measured windows, by cause.")
+	mSquashed = telemetry.Default.Counter("bebop_pipeline_squashed_uops_total",
+		"Micro-ops squashed in measured windows.")
+)
+
+// flushTelemetry publishes one finished run's measured-window stats to
+// the process-wide registry. Called once from result(); never from the
+// cycle loop.
+func flushTelemetry(s *Stats) {
+	mRuns.Inc()
+	mCycles.Add(uint64(s.Cycles))
+	mInsts.Add(s.Insts)
+	mUOps.Add(s.UOps)
+	mBrMisp.Add(s.BrMispredicts)
+	mValMisp.Add(s.ValueMispredicts)
+	mMemFlushes.Add(s.MemOrderFlushes)
+	// Every value mispredict squashes (commitStage flushes on detection).
+	mValFlushes.Add(s.ValueMispredicts)
+	mSquashed.Add(s.SquashedUOps)
+}

@@ -7,10 +7,27 @@ package prof
 
 import (
 	"fmt"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
 )
+
+// Handler returns the net/http/pprof surface mounted under
+// /debug/pprof/, for servers that opt into live profiling (bebop-serve
+// -pprof). The handlers are mounted explicitly rather than through the
+// package's init side effect on http.DefaultServeMux, so a server that
+// does not opt in exposes nothing.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
 
 // StartCPU begins a CPU profile written to path and returns the function
 // that stops it and closes the file. An empty path is a no-op.

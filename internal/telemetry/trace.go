@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one recorded phase of a run: a fast-forward, warming or
+// detailed window, a checkpoint restore, or the whole run. Interval is
+// the sampling-interval index the span belongs to, or -1 for run-scoped
+// spans. Start is the offset from the trace epoch so spans from
+// parallel interval workers order sensibly.
+type Span struct {
+	Name     string
+	Interval int
+	Insts    int64
+	Start    time.Duration
+	Dur      time.Duration
+}
+
+// Trace collects spans for one run. Span recording takes a short mutex
+// (it happens per phase, never per instruction). A nil *Trace is valid
+// and makes every method a no-op, so instrumented code can call
+// TraceFrom(ctx).Start(...) unconditionally.
+type Trace struct {
+	epoch time.Time
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts an empty trace with its epoch at now.
+func NewTrace() *Trace { return &Trace{epoch: time.Now()} }
+
+// ActiveSpan is a span that has started but not yet ended. A nil
+// *ActiveSpan is valid; all methods no-op.
+type ActiveSpan struct {
+	tr *Trace
+	t0 time.Time
+	sp Span
+}
+
+// Start begins a run-scoped span (Interval -1).
+func (t *Trace) Start(name string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return &ActiveSpan{tr: t, t0: time.Now(), sp: Span{Name: name, Interval: -1}}
+}
+
+// SetInterval tags the span with a sampling-interval index.
+func (s *ActiveSpan) SetInterval(i int) *ActiveSpan {
+	if s != nil {
+		s.sp.Interval = i
+	}
+	return s
+}
+
+// SetInsts records how many instructions the span covered.
+func (s *ActiveSpan) SetInsts(n int64) *ActiveSpan {
+	if s != nil {
+		s.sp.Insts = n
+	}
+	return s
+}
+
+// End stops the span and appends it to the trace.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.sp.Start = s.t0.Sub(s.tr.epoch)
+	s.sp.Dur = time.Since(s.t0)
+	s.tr.mu.Lock()
+	s.tr.spans = append(s.tr.spans, s.sp)
+	s.tr.mu.Unlock()
+}
+
+// Spans returns the recorded spans ordered by (Interval, Start, Name).
+// Interval ordering first makes the listing deterministic in shape even
+// when parallel interval workers interleave: each interval's phases
+// stay contiguous and in phase order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Interval != out[j].Interval {
+			return out[i].Interval < out[j].Interval
+		}
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+type traceKey struct{}
+
+// WithTrace returns a context carrying tr. Instrumented layers retrieve
+// it with TraceFrom; absent a trace they get nil and record nothing.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("detailed").SetInterval(3).SetInsts(100)
+	sp.End() // must not panic
+	if spans := tr.Spans(); spans != nil {
+		t.Fatalf("nil trace returned spans: %v", spans)
+	}
+}
+
+func TestTraceFromEmptyContext(t *testing.T) {
+	if tr := TraceFrom(context.Background()); tr != nil {
+		t.Fatalf("TraceFrom(empty) = %v, want nil", tr)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatal("TraceFrom did not return the carried trace")
+	}
+
+	tr.Start("sampled").SetInsts(4000).End()
+	tr.Start("detailed").SetInterval(1).SetInsts(1000).End()
+	tr.Start("fast-forward").SetInterval(1).SetInsts(3000).End()
+	tr.Start("detailed").SetInterval(0).SetInsts(1000).End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("len(spans) = %d, want 4", len(spans))
+	}
+	// Run-scoped (-1) first, then intervals ascending.
+	wantIntervals := []int{-1, 0, 1, 1}
+	for i, sp := range spans {
+		if sp.Interval != wantIntervals[i] {
+			t.Errorf("spans[%d].Interval = %d, want %d", i, sp.Interval, wantIntervals[i])
+		}
+		if sp.Dur < 0 {
+			t.Errorf("spans[%d].Dur negative: %v", i, sp.Dur)
+		}
+	}
+	if spans[0].Name != "sampled" || spans[0].Insts != 4000 {
+		t.Errorf("run-scoped span = %+v", spans[0])
+	}
+	// Within interval 1 the earlier-started span sorts first.
+	if spans[2].Name != "detailed" || spans[3].Name != "fast-forward" {
+		t.Errorf("interval-1 spans out of start order: %q, %q", spans[2].Name, spans[3].Name)
+	}
+}
+
+// TestTraceConcurrentAppend mirrors parallel interval workers recording
+// spans into one trace; run under -race in CI.
+func TestTraceConcurrentAppend(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(iv int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Start("detailed").SetInterval(iv).End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 800 {
+		t.Fatalf("len(spans) = %d, want 800", got)
+	}
+}

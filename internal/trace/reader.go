@@ -50,6 +50,12 @@ type Reader struct {
 	fr       io.ReadCloser // flate decompressor, reused via flate.Resetter
 	b1       [1]byte       // single-byte read buffer; a local would escape per call
 
+	// Telemetry accumulates locally (plain counters on the decode path)
+	// and flushes to the process registry at end-of-trace, Close and
+	// Reset — never per frame.
+	framesRead   uint64
+	payloadBytes uint64
+
 	eof bool
 	err error
 }
@@ -85,6 +91,7 @@ func OpenFile(path string) (*Reader, error) {
 // owned by OpenFile is closed — do not Reset onto the handle the
 // Reader already owns.
 func (r *Reader) Reset(src io.Reader) error {
+	r.flushTelemetry()
 	if r.file != nil {
 		r.file.Close()
 		r.file = nil
@@ -116,12 +123,25 @@ func (r *Reader) Reset(src io.Reader) error {
 // Close releases the underlying file when the Reader owns one
 // (OpenFile); Readers over caller-provided sources close nothing.
 func (r *Reader) Close() error {
+	r.flushTelemetry()
 	if r.file == nil {
 		return nil
 	}
 	err := r.file.Close()
 	r.file = nil
 	return err
+}
+
+// flushTelemetry publishes locally accumulated replay counters.
+func (r *Reader) flushTelemetry() {
+	if r.framesRead > 0 {
+		mFrames.Add(r.framesRead)
+		r.framesRead = 0
+	}
+	if r.payloadBytes > 0 {
+		mPayloadBytes.Add(r.payloadBytes)
+		r.payloadBytes = 0
+	}
 }
 
 // Header returns the trace identity. Totals are zero only for traces
@@ -191,6 +211,7 @@ func (r *Reader) nextFrame() bool {
 	}
 	if instCount == 0 {
 		r.eof = true
+		r.flushTelemetry()
 		return false
 	}
 	if instCount > maxFrameInsts {
@@ -229,6 +250,8 @@ func (r *Reader) nextFrame() bool {
 	var rerr error
 	r.payBuf, rerr = appendRead(r.payBuf[:0], r.src, payLen)
 	r.off += uint64(len(r.payBuf))
+	r.framesRead++
+	r.payloadBytes += uint64(len(r.payBuf))
 	if rerr != nil {
 		r.err = formatErr("frame payload: %v", rerr)
 		return false

@@ -12,7 +12,11 @@ import (
 //
 // v2 added the optional "sampling" block (sampled-simulation estimates
 // with confidence intervals); every v1 field is unchanged.
-const ReportSchemaVersion = 2
+//
+// v3 added the optional "telemetry" block (run phase spans and per-PC
+// hard-to-predict misprediction attribution, present only for runs
+// executed with WithTelemetry); every v2 field is unchanged.
+const ReportSchemaVersion = 3
 
 // Report is the stable result of one simulation run: pipeline counters,
 // derived rates and value-prediction statistics, flattened into one
@@ -74,6 +78,13 @@ type Report struct {
 	// mean of per-interval IPCs, and this block carries the confidence
 	// interval around it.
 	Sampling *SamplingReport `json:"sampling,omitempty"`
+
+	// Telemetry is present only for runs executed with WithTelemetry:
+	// wall-clock phase spans and per-PC H2P misprediction attribution.
+	// It is an observation of the run, not part of its identity — every
+	// other field stays bit-identical whether or not telemetry is on,
+	// and span timings legitimately vary between identical runs.
+	Telemetry *TelemetryReport `json:"telemetry,omitempty"`
 }
 
 // SamplingReport is the sampled-simulation slice of a Report.

@@ -34,9 +34,9 @@ func reportSchemaPaths(t *testing.T) string {
 	return strings.Join(paths, "\n") + "\n"
 }
 
-// TestReportSchemaGolden pins the Report v2 JSON wire format: the full
+// TestReportSchemaGolden pins the Report v3 JSON wire format: the full
 // set of key paths a fully-populated Report emits, in testdata/
-// report_schema_v2.golden. Reports are consumed outside this repo
+// report_schema_v3.golden. Reports are consumed outside this repo
 // (result files, bebop-serve clients), so adding, renaming or removing
 // a field is a schema change: it must fail here first, and shipping it
 // means bumping ReportSchemaVersion and regenerating the golden with
@@ -44,7 +44,7 @@ func reportSchemaPaths(t *testing.T) string {
 func TestReportSchemaGolden(t *testing.T) {
 	got := reportSchemaPaths(t)
 
-	golden := filepath.Join("testdata", "report_schema_v2.golden")
+	golden := filepath.Join("testdata", "report_schema_v3.golden")
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
 			t.Fatal(err)
@@ -81,6 +81,27 @@ func TestReportSchemaV1Compat(t *testing.T) {
 	for _, p := range strings.Split(strings.TrimSpace(string(v1)), "\n") {
 		if !got[p] {
 			t.Errorf("v1 schema path %q is gone from the current Report schema", p)
+		}
+	}
+}
+
+// TestReportSchemaV2Compat pins backward compatibility of the v3 bump:
+// every key path a v2 Report emitted must still be present in the v3
+// schema. v3 is allowed to add paths (the telemetry block); it must
+// never drop or rename a v2 path. The v2 golden is frozen history —
+// never regenerate it.
+func TestReportSchemaV2Compat(t *testing.T) {
+	v2, err := os.ReadFile(filepath.Join("testdata", "report_schema_v2.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, p := range strings.Split(strings.TrimSpace(reportSchemaPaths(t)), "\n") {
+		got[p] = true
+	}
+	for _, p := range strings.Split(strings.TrimSpace(string(v2)), "\n") {
+		if !got[p] {
+			t.Errorf("v2 schema path %q is gone from the current Report schema", p)
 		}
 	}
 }

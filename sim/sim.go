@@ -37,18 +37,30 @@ import (
 
 	"bebop/internal/bebop"
 	"bebop/internal/core"
+	"bebop/internal/pipeline"
 	"bebop/internal/specwindow"
+	"bebop/internal/telemetry"
 	"bebop/internal/trace"
 	"bebop/internal/util"
 	"bebop/internal/workload"
 	"bebop/internal/workload/probe"
 )
 
+// Checkpoint side-file outcomes: a validated side-file restores for
+// free; anything else pays a continuous functional-warming pass.
+var (
+	mCkptReused = telemetry.Default.Counter(`bebop_sim_checkpoint_files_total{outcome="reused"}`,
+		"Checkpoint side-file resolutions by outcome.")
+	mCkptRebuilt = telemetry.Default.Counter(`bebop_sim_checkpoint_files_total{outcome="rebuilt"}`,
+		"Checkpoint side-file resolutions by outcome.")
+)
+
 // Sim is a configured simulation, built with New. The zero value is not
 // usable.
 type Sim struct {
-	spec     RunSpec
-	progress func(streamed, total int64)
+	spec      RunSpec
+	progress  func(streamed, total int64)
+	telemetry bool
 }
 
 // Option configures a Sim.
@@ -64,8 +76,16 @@ func New(opts ...Option) *Sim {
 	return s
 }
 
-// FromSpec builds a Sim that runs the given declarative spec.
-func FromSpec(spec RunSpec) *Sim { return &Sim{spec: spec} }
+// FromSpec builds a Sim that runs the given declarative spec. Observer
+// options (WithProgress, WithTelemetry) may be layered on top; options
+// that alter the spec itself apply too, but a spec is usually complete.
+func FromSpec(spec RunSpec, opts ...Option) *Sim {
+	s := &Sim{spec: spec}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
 
 // WithWorkload selects a catalog workload by name: a Table II synthetic
 // benchmark, or a recorded trace when combined with WithTraceDir.
@@ -126,10 +146,12 @@ func WithSampling(sp SamplingSpec) Option {
 	return func(s *Sim) { s.spec.Sampling = &sp }
 }
 
-// WithProgress streams coarse progress: fn is called about every 1K
-// simulated instructions with the count streamed so far and the total
-// warmup+measure budget. fn runs on the simulation goroutine and is not
-// part of the spec (progress is an observer, not run configuration).
+// WithProgress streams coarse progress: for plain runs fn is called
+// about every 1K simulated instructions with the count streamed so far
+// and the total warmup+measure budget; for sampled runs it is called
+// once per completed interval with detailed-instruction counts. fn runs
+// on simulation goroutines (serialized) and is not part of the spec
+// (progress is an observer, not run configuration).
 func WithProgress(fn func(streamed, total int64)) Option {
 	return func(s *Sim) { s.progress = fn }
 }
@@ -155,24 +177,56 @@ func (s *Sim) Run(ctx context.Context) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
+	var tr *telemetry.Trace
+	if s.telemetry {
+		// Telemetry rides observer seams only: a trace in the context for
+		// phase spans, and H2P collection in the pipeline config — which
+		// attributes existing misprediction counts without perturbing any
+		// simulated outcome (pinned by TestH2PIsPureObserver and the
+		// telemetry determinism test).
+		tr = telemetry.NewTrace()
+		ctx = telemetry.WithTrace(ctx, tr)
+		inner := mk
+		mk = func() pipeline.Config {
+			cfg := inner()
+			cfg.CollectH2P = true
+			return cfg
+		}
+	}
 	if spec.Sampling != nil {
-		return runSampled(ctx, spec, src, mk)
+		return s.runSampled(ctx, spec, src, mk, tr)
 	}
 	res, err := core.RunSourceProgress(ctx, src, *spec.Warmup, spec.Insts, mk, s.progress)
 	if err != nil {
 		return Report{}, err
 	}
-	return newReport(spec, src.Name(), res), nil
+	rep := newReport(spec, src.Name(), res)
+	if tr != nil {
+		rep.Telemetry = newTelemetryReport(tr, res)
+	}
+	return rep, nil
 }
 
 // runSampled executes a validated spec's sampling block through
 // core.RunSampled, resolving the checkpoint side-file first when asked.
-func runSampled(ctx context.Context, spec RunSpec, src workload.Source, mk core.ConfigFactory) (Report, error) {
+// tr, when non-nil, receives phase spans and yields the report's
+// Telemetry block.
+func (s *Sim) runSampled(ctx context.Context, spec RunSpec, src workload.Source, mk core.ConfigFactory, tr *telemetry.Trace) (Report, error) {
 	sp := core.SamplingParams{
 		Intervals:     spec.Sampling.Intervals,
 		IntervalInsts: spec.Sampling.IntervalInsts,
 		WarmupInsts:   spec.Sampling.Warmup,
 		DetailWarmup:  spec.Sampling.DetailWarmup,
+	}
+	if s.progress != nil {
+		// Map per-interval completion onto the (streamed, total) progress
+		// contract: each interval contributes its detailed budget. Calls
+		// arrive serialized from core.RunSampled, one per interval.
+		per := spec.Sampling.DetailWarmup + spec.Sampling.IntervalInsts
+		on := s.progress
+		sp.OnInterval = func(done, total int) {
+			on(int64(done)*per, int64(total)*per)
+		}
 	}
 	if spec.Sampling.Checkpoints {
 		fs, ok := src.(trace.FileSource)
@@ -202,6 +256,9 @@ func runSampled(ctx context.Context, spec RunSpec, src workload.Source, mk core.
 		IPCCI95:         st.IPCCI95,
 		IntervalIPCs:    st.IntervalIPCs,
 	}
+	if tr != nil {
+		rep.Telemetry = newTelemetryReport(tr, res)
+	}
 	return rep, nil
 }
 
@@ -222,9 +279,11 @@ func ensureCheckpoints(fs trace.FileSource, mk core.ConfigFactory, spec RunSpec)
 	r.Close()
 	if cf, err := trace.LoadCheckpoints(path); err == nil {
 		if err := cf.Validate(hdr, cfgName); err == nil {
+			mCkptReused.Inc()
 			return cf, nil
 		}
 	}
+	mCkptRebuilt.Inc()
 	upTo := *spec.Warmup + spec.Insts
 	// One point per interval stride, bounded so a huge run cannot bloat
 	// the side-file past 64 snapshots.

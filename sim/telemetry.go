@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"bebop/internal/pipeline"
+	"bebop/internal/telemetry"
+)
+
+// WithTelemetry turns on run observability: the Report gains a
+// Telemetry block with wall-clock phase spans (fast-forward / warming /
+// detailed, per sampling interval for sampled runs) and per-PC
+// hard-to-predict misprediction attribution (the top mispredicting
+// static branches and value-predicted instructions of the measured
+// window).
+//
+// Telemetry is an observer, not run configuration: every other Report
+// field stays bit-identical with or without it, and it is not part of
+// RunSpec. Span timings are wall-clock and vary between runs; the H2P
+// attribution is deterministic.
+func WithTelemetry() Option {
+	return func(s *Sim) { s.telemetry = true }
+}
+
+// TelemetryReport is the observability slice of a Report (schema v3).
+type TelemetryReport struct {
+	// Spans lists the run's execution phases, ordered by sampling
+	// interval (-1 = run-scoped) then start time.
+	Spans []SpanReport `json:"spans"`
+
+	// H2PBranches / H2PValues rank the static PCs responsible for the
+	// most branch / value mispredictions in the measured window.
+	H2PBranches []H2PReport `json:"h2p_branches"`
+	H2PValues   []H2PReport `json:"h2p_values"`
+	// Dropped mispredictions hit PCs the fixed-size attribution table
+	// had no room for; the listed entries are still exact.
+	H2PBranchPCsDropped uint64 `json:"h2p_branch_pcs_dropped"`
+	H2PValuePCsDropped  uint64 `json:"h2p_value_pcs_dropped"`
+}
+
+// SpanReport is one recorded execution phase.
+type SpanReport struct {
+	// Name is the phase: "detailed", "warming", "fast-forward",
+	// "restore" or "sampled" (the sampled run's root span).
+	Name string `json:"name"`
+	// Interval is the sampling-interval index, -1 for run-scoped spans.
+	Interval int `json:"interval"`
+	// StartMS/DurMS are wall-clock milliseconds relative to run start.
+	StartMS float64 `json:"start_ms"`
+	DurMS   float64 `json:"dur_ms"`
+	// Insts is the instruction budget the phase covered (0 if unknown).
+	Insts int64 `json:"insts"`
+}
+
+// H2PReport is one hard-to-predict static instruction.
+type H2PReport struct {
+	// PC is the static instruction address, hex-encoded ("0x401a2c") —
+	// a string because JSON numbers lose uint64 precision past 2^53.
+	PC string `json:"pc"`
+	// Mispredicts is the misprediction count charged to this PC in the
+	// measured window; MPKI normalizes it per kilo-instruction.
+	Mispredicts uint64  `json:"mispredicts"`
+	MPKI        float64 `json:"mpki"`
+}
+
+// newTelemetryReport flattens the trace and the result's H2P attribution.
+func newTelemetryReport(tr *telemetry.Trace, res pipeline.Result) *TelemetryReport {
+	out := &TelemetryReport{Spans: []SpanReport{}, H2PBranches: []H2PReport{}, H2PValues: []H2PReport{}}
+	for _, sp := range tr.Spans() {
+		out.Spans = append(out.Spans, SpanReport{
+			Name:     sp.Name,
+			Interval: sp.Interval,
+			StartMS:  float64(sp.Start.Microseconds()) / 1000,
+			DurMS:    float64(sp.Dur.Microseconds()) / 1000,
+			Insts:    sp.Insts,
+		})
+	}
+	if res.H2P != nil {
+		out.H2PBranches = h2pReports(res.H2P.Branches, res.Insts)
+		out.H2PValues = h2pReports(res.H2P.Values, res.Insts)
+		out.H2PBranchPCsDropped = res.H2P.BranchPCsDropped
+		out.H2PValuePCsDropped = res.H2P.ValuePCsDropped
+	}
+	return out
+}
+
+func h2pReports(entries []pipeline.H2PEntry, insts uint64) []H2PReport {
+	out := make([]H2PReport, 0, len(entries))
+	for _, e := range entries {
+		r := H2PReport{
+			PC:          "0x" + strconv.FormatUint(e.PC, 16),
+			Mispredicts: e.Mispredicts,
+		}
+		if insts > 0 {
+			r.MPKI = 1000 * float64(e.Mispredicts) / float64(insts)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// WriteMetrics writes the process-wide metrics registry in Prometheus
+// text exposition format: every counter, gauge and histogram the
+// simulator layers maintain (pipeline totals, engine cache and worker
+// activity, interval scheduling, trace replay IO). bebop-serve exposes
+// exactly this at GET /metrics; bebop-sim/-sweep print it under
+// -telemetry.
+func WriteMetrics(w io.Writer) error {
+	return telemetry.Default.WritePrometheus(w)
+}
+
+// WriteSpanTree renders a Report's telemetry spans as an indented tree
+// grouped by sampling interval, the human view the -telemetry CLI flag
+// prints.
+func WriteSpanTree(w io.Writer, t *TelemetryReport) error {
+	if t == nil {
+		_, err := fmt.Fprintln(w, "no telemetry recorded")
+		return err
+	}
+	lastInterval := -2
+	for _, sp := range t.Spans {
+		indent := ""
+		if sp.Interval >= 0 {
+			if sp.Interval != lastInterval {
+				if _, err := fmt.Fprintf(w, "  interval %d\n", sp.Interval); err != nil {
+					return err
+				}
+			}
+			indent = "    "
+		}
+		lastInterval = sp.Interval
+		insts := ""
+		if sp.Insts > 0 {
+			insts = fmt.Sprintf("  %d insts", sp.Insts)
+		}
+		if _, err := fmt.Fprintf(w, "%s%-12s %9.3fms @ %.3fms%s\n",
+			indent, sp.Name, sp.DurMS, sp.StartMS, insts); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// stripTelemetry returns the report with its observer-only block
+// removed and its Spec.Warmup pointer canonicalized to other's (the
+// values are asserted equal first), so the rest can be compared with ==.
+func stripTelemetry(t *testing.T, r, other Report) Report {
+	t.Helper()
+	r.Telemetry = nil
+	if r.Spec.Warmup == nil || other.Spec.Warmup == nil || *r.Spec.Warmup != *other.Spec.Warmup {
+		t.Fatalf("warmup diverged: %v vs %v", r.Spec.Warmup, other.Spec.Warmup)
+	}
+	r.Spec.Warmup = other.Spec.Warmup
+	return r
+}
+
+func TestWithTelemetryAttachesAndNeverPerturbs(t *testing.T) {
+	opts := func(extra ...Option) []Option {
+		return append([]Option{
+			WithWorkload("gcc"),
+			WithConfig("eole-bebop/Medium"),
+			WithInsts(20_000),
+		}, extra...)
+	}
+	plain, err := New(opts()...).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Telemetry != nil {
+		t.Fatal("telemetry present without WithTelemetry")
+	}
+	traced, err := New(opts(WithTelemetry())...).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Telemetry == nil {
+		t.Fatal("WithTelemetry set but Report.Telemetry is nil")
+	}
+	// The tentpole contract: telemetry observes, never perturbs.
+	if got := stripTelemetry(t, traced, plain); got != plain {
+		t.Fatalf("telemetry perturbed the run:\nplain:  %+v\ntraced: %+v", plain, got)
+	}
+
+	tel := traced.Telemetry
+	if len(tel.Spans) != 1 || tel.Spans[0].Name != "detailed" || tel.Spans[0].Interval != -1 {
+		t.Fatalf("plain run spans = %+v, want one run-scoped detailed span", tel.Spans)
+	}
+	if tel.Spans[0].Insts != 30_000 { // warmup (10K) + measured (20K)
+		t.Fatalf("detailed span insts = %d, want 30000", tel.Spans[0].Insts)
+	}
+	if len(tel.H2PBranches) == 0 {
+		t.Fatal("gcc run attributed no branch mispredictions")
+	}
+	for _, e := range tel.H2PBranches {
+		if !strings.HasPrefix(e.PC, "0x") {
+			t.Fatalf("PC %q not hex-encoded", e.PC)
+		}
+		if e.Mispredicts == 0 {
+			t.Fatalf("zero-count H2P entry: %+v", e)
+		}
+	}
+
+	// The H2P attribution (unlike wall-clock spans) is deterministic.
+	again, err := New(opts(WithTelemetry())...).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Telemetry.H2PBranches) != len(tel.H2PBranches) {
+		t.Fatalf("H2P not deterministic: %d vs %d entries",
+			len(again.Telemetry.H2PBranches), len(tel.H2PBranches))
+	}
+	for i := range tel.H2PBranches {
+		if again.Telemetry.H2PBranches[i] != tel.H2PBranches[i] {
+			t.Fatalf("H2P entry %d differs across identical runs: %+v vs %+v",
+				i, again.Telemetry.H2PBranches[i], tel.H2PBranches[i])
+		}
+	}
+}
+
+func TestTelemetrySampledSpans(t *testing.T) {
+	rep, err := New(
+		WithWorkload("swim"),
+		WithInsts(40_000),
+		WithSampling(SamplingSpec{Intervals: 4}),
+		WithTelemetry(),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Telemetry == nil || rep.Sampling == nil {
+		t.Fatal("sampled telemetry run missing a report block")
+	}
+	detailed := map[int]bool{}
+	var root int
+	for _, sp := range rep.Telemetry.Spans {
+		if sp.Name == "sampled" && sp.Interval == -1 {
+			root++
+		}
+		if sp.Name == "detailed" && sp.Interval >= 0 {
+			detailed[sp.Interval] = true
+		}
+	}
+	if root != 1 {
+		t.Fatalf("want exactly one sampled root span, got %d", root)
+	}
+	for i := 0; i < 4; i++ {
+		if !detailed[i] {
+			t.Fatalf("interval %d has no detailed span; spans: %+v", i, rep.Telemetry.Spans)
+		}
+	}
+}
+
+// TestSampledProgressFires pins the WithProgress fix: sampled runs must
+// report per-interval completion (they previously fired nothing).
+func TestSampledProgressFires(t *testing.T) {
+	var got []int64
+	var total int64
+	rep, err := New(
+		WithWorkload("swim"),
+		WithInsts(40_000),
+		WithSampling(SamplingSpec{Intervals: 4}),
+		WithProgress(func(streamed, tot int64) {
+			got = append(got, streamed)
+			total = tot
+		}),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != rep.Sampling.Intervals {
+		t.Fatalf("progress fired %d times, want once per interval (%d)", len(got), rep.Sampling.Intervals)
+	}
+	per := rep.Sampling.DetailWarmup + rep.Sampling.IntervalInsts
+	if total != int64(rep.Sampling.Intervals)*per {
+		t.Fatalf("total = %d, want %d", total, int64(rep.Sampling.Intervals)*per)
+	}
+	for i, s := range got {
+		if want := int64(i+1) * per; s != want {
+			t.Fatalf("progress call %d reported %d streamed, want %d", i, s, want)
+		}
+	}
+}
+
+func TestWriteMetricsExposesCoreSeries(t *testing.T) {
+	if _, err := New(WithWorkload("swim"), WithInsts(5_000)).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, series := range []string{
+		"bebop_pipeline_insts_total",
+		"bebop_pipeline_runs_total",
+		"bebop_core_proc_pool_total",
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("WriteMetrics output missing %s:\n%.1000s", series, out)
+		}
+	}
+}
+
+func TestWriteSpanTree(t *testing.T) {
+	rep, err := New(
+		WithWorkload("swim"),
+		WithInsts(40_000),
+		WithSampling(SamplingSpec{Intervals: 4}),
+		WithTelemetry(),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteSpanTree(&b, rep.Telemetry); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"sampled", "interval 0", "interval 3", "detailed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("span tree missing %q:\n%s", want, out)
+		}
+	}
+	if err := WriteSpanTree(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,8 +8,10 @@ import (
 	"log/slog"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"bebop/internal/admission"
 	"bebop/internal/prof"
 	"bebop/internal/telemetry"
 	"bebop/sim"
@@ -39,6 +41,16 @@ type serverConfig struct {
 	parallel          int
 	// pprof mounts the net/http/pprof surface under /debug/pprof/.
 	pprof bool
+	// admit configures the front-door rate limiter and load-shed gate.
+	admit admission.Config
+	// runTTL and maxStoredRuns bound the async run store: completed
+	// runs older than runTTL (or past the count cap, oldest-finished
+	// first) are evicted and answer 410 Gone afterwards.
+	runTTL        time.Duration
+	maxStoredRuns int
+	// drainTimeout is how long a SIGTERM'd server waits for in-flight
+	// runs before cancelling them and marking survivors "aborted".
+	drainTimeout time.Duration
 }
 
 // server is the bebop-serve HTTP front end over the bebop/sim SDK.
@@ -47,6 +59,15 @@ type server struct {
 	sweeper *sim.Sweeper
 	runSem  chan struct{}
 	store   *runStore
+	admit   *admission.Controller
+
+	// baseCtx parents every simulation (sync and async); baseCancel is
+	// the drain-timeout abort switch. inflight counts simulations (not
+	// HTTP requests) the drain sequence must wait for.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   atomic.Bool
+	inflight   atomic.Int64
 }
 
 func newServer(cfg serverConfig) (*server, error) {
@@ -70,11 +91,15 @@ func newServer(cfg serverConfig) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	baseCtx, baseCancel := context.WithCancel(context.Background())
 	return &server{
-		cfg:     cfg,
-		sweeper: sw,
-		runSem:  make(chan struct{}, cfg.maxConcurrentRuns),
-		store:   newRunStore(),
+		cfg:        cfg,
+		sweeper:    sw,
+		runSem:     make(chan struct{}, cfg.maxConcurrentRuns),
+		store:      newRunStore(cfg.runTTL, cfg.maxStoredRuns),
+		admit:      admission.New(cfg.admit),
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
 	}, nil
 }
 
@@ -84,17 +109,22 @@ func newServer(cfg serverConfig) (*server, error) {
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /readyz", s.readyz)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /v1/experiments", s.experimentsV1)
 	mux.HandleFunc("GET /v1/workloads", s.workloadsV1)
 	mux.HandleFunc("GET /v1/configs", s.configsV1)
-	mux.HandleFunc("POST /v1/runs", s.runsV1)
+	// Admission control wraps only the expensive simulation routes.
+	// Catalog reads, run status and SSE subscriptions stay unwrapped:
+	// a draining node must keep serving terminal events to subscribers
+	// even while it sheds new work.
+	mux.Handle("POST /v1/runs", s.admit.Wrap(http.HandlerFunc(s.runsV1)))
 	mux.HandleFunc("GET /v1/runs/{id}", s.runStatusV1)
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.runEventsV1)
-	mux.HandleFunc("POST /v1/sweeps", s.sweepsV1)
+	mux.Handle("POST /v1/sweeps", s.admit.Wrap(http.HandlerFunc(s.sweepsV1)))
 	// Deprecated pre-v1 surface.
 	mux.HandleFunc("GET /experiments", s.deprecated("/v1/experiments", s.experimentsV1))
-	mux.HandleFunc("GET /run", s.deprecated("/v1/sweeps", s.runLegacy))
+	mux.Handle("GET /run", s.admit.Wrap(s.deprecated("/v1/sweeps", s.runLegacy)))
 	if s.cfg.pprof {
 		mux.Handle("/debug/pprof/", prof.Handler())
 	}
@@ -159,18 +189,70 @@ func (s *server) deprecated(successor string, h http.HandlerFunc) http.HandlerFu
 	}
 }
 
+// healthz is liveness: it answers 200 as long as the process can serve
+// HTTP at all — including while draining, so an orchestrator does not
+// kill a node that is busy finishing in-flight work.
 func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"version": sim.Version(),
-		"engine":  s.sweeper.Stats(),
+		"status":   "ok",
+		"version":  sim.Version(),
+		"engine":   s.sweeper.Stats(),
+		"draining": s.draining.Load(),
+		"inflight": s.inflight.Load(),
+		"store":    s.store.stats(),
 		"limits": map[string]any{
-			"default_insts":       s.cfg.defaultInsts,
-			"max_insts":           s.cfg.maxInsts,
-			"run_timeout_seconds": s.cfg.runTimeout.Seconds(),
-			"max_concurrent_runs": s.cfg.maxConcurrentRuns,
+			"default_insts":         s.cfg.defaultInsts,
+			"max_insts":             s.cfg.maxInsts,
+			"run_timeout_seconds":   s.cfg.runTimeout.Seconds(),
+			"max_concurrent_runs":   s.cfg.maxConcurrentRuns,
+			"drain_timeout_seconds": s.cfg.drainTimeout.Seconds(),
+			"admission":             s.admit.Limits(),
 		},
 	})
+}
+
+// readyz is readiness: 503 once the drain switch flips, so load
+// balancers stop routing new work here while /healthz stays green.
+func (s *server) readyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining", "inflight": s.inflight.Load(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
+// beginDrain flips the node out of rotation: readiness answers 503 and
+// the admission layer sheds every new simulation request. In-flight
+// work keeps running.
+func (s *server) beginDrain() {
+	s.draining.Store(true)
+	s.admit.SetDraining(true)
+}
+
+// abortInflight cancels baseCtx, the parent of every simulation. Async
+// runs observe it within ~1K simulated instructions and finish as
+// "aborted"; sync handlers answer 503.
+func (s *server) abortInflight() { s.baseCancel() }
+
+// drain executes the shutdown ladder: stop admitting, wait up to
+// cfg.drainTimeout for in-flight simulations, then cancel the
+// survivors and wait briefly for their terminal events to publish.
+func (s *server) drain() {
+	s.beginDrain()
+	deadline := time.Now().Add(s.cfg.drainTimeout)
+	for s.inflight.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+	}
+	if n := s.inflight.Load(); n > 0 {
+		slog.Warn("drain: timeout, aborting in-flight runs", "count", n)
+		s.abortInflight()
+		grace := time.Now().Add(5 * time.Second)
+		for s.inflight.Load() > 0 && time.Now().Before(grace) {
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
 }
 
 func (s *server) experimentsV1(w http.ResponseWriter, _ *http.Request) {
@@ -266,22 +348,32 @@ func (s *server) runsV1(w http.ResponseWriter, req *http.Request) {
 	// One slot per run, bounded: a burst of requests queues here instead
 	// of oversubscribing the simulator; a client that gives up while
 	// queued costs nothing (ctx is checked before the run starts).
-	ctx := req.Context()
+	ctx, cancel := context.WithCancel(req.Context())
+	defer cancel()
+	// Tie the run to the drain abort switch: when the drain timeout
+	// cancels baseCtx, this run stops within ~1K simulated instructions
+	// and the client gets a 503 instead of a hung connection.
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
 	select {
 	case s.runSem <- struct{}{}:
 		defer func() { <-s.runSem }()
 	case <-ctx.Done():
+		if s.answerDrainAbort(w, ctx.Err()) {
+			return
+		}
 		logClientGone(req, ctx.Err())
 		return
 	}
 	if s.cfg.runTimeout > 0 {
-		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.runTimeout)
 		defer cancel()
 	}
 
+	s.inflight.Add(1)
 	start := time.Now()
 	rep, err := sim.FromSpec(spec, opts...).Run(ctx)
+	s.inflight.Add(-1)
 	switch {
 	case err == nil:
 	case errors.Is(err, context.DeadlineExceeded):
@@ -290,6 +382,9 @@ func (s *server) runsV1(w http.ResponseWriter, req *http.Request) {
 				s.cfg.runTimeout, s.cfg.maxInsts), nil)
 		return
 	case errors.Is(err, context.Canceled):
+		if s.answerDrainAbort(w, err) {
+			return
+		}
 		logClientGone(req, err)
 		return
 	default:
@@ -306,14 +401,36 @@ func isTrue(v string) bool {
 	return v == "1" || v == "true" || v == "yes"
 }
 
+// answerDrainAbort maps a cancellation caused by the drain abort (not
+// by the client hanging up) to an honest 503, and reports whether it
+// answered. The client's own disconnect stays a silent log line.
+func (s *server) answerDrainAbort(w http.ResponseWriter, err error) bool {
+	if !errors.Is(err, context.Canceled) || s.baseCtx.Err() == nil {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusServiceUnavailable,
+		"server draining: run aborted; retry against another node", nil)
+	return true
+}
+
 // executeAsync runs one detached simulation: it competes for the same
 // run slots as synchronous requests and honours the same -run-timeout,
-// but lives on the background context — an events subscriber
-// disconnecting never cancels the run.
+// but lives on the server's base context — an events subscriber
+// disconnecting never cancels the run, while the drain abort does, in
+// which case the run finishes "aborted" (a terminal SSE event) rather
+// than "error".
 func (s *server) executeAsync(run *asyncRun, opts []sim.Option) {
-	s.runSem <- struct{}{}
-	defer func() { <-s.runSem }()
-	ctx := context.Background()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	select {
+	case s.runSem <- struct{}{}:
+		defer func() { <-s.runSem }()
+	case <-s.baseCtx.Done():
+		run.abort("server draining: run aborted before it started; resubmit elsewhere")
+		return
+	}
+	ctx := s.baseCtx
 	if s.cfg.runTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.runTimeout)
@@ -322,6 +439,11 @@ func (s *server) executeAsync(run *asyncRun, opts []sim.Option) {
 	start := time.Now()
 	opts = append(opts, sim.WithProgress(run.progress))
 	rep, err := sim.FromSpec(run.Spec, opts...).Run(ctx)
+	if errors.Is(err, context.Canceled) && s.baseCtx.Err() != nil {
+		run.abort("server draining: run aborted; resubmit elsewhere")
+		slog.Warn("async run aborted by drain", "id", run.ID)
+		return
+	}
 	run.finish(rep, err)
 	if err != nil {
 		slog.Error("async run failed", "id", run.ID, "err", err)
@@ -333,10 +455,15 @@ func (s *server) executeAsync(run *asyncRun, opts []sim.Option) {
 }
 
 // runStatusV1 reports an async run's rolled-up state (and its report,
-// once done).
+// once done). An evicted run answers 410 Gone — "it existed, the
+// result is no longer held" — distinctly from a never-seen 404.
 func (s *server) runStatusV1(w http.ResponseWriter, req *http.Request) {
-	run := s.store.get(req.PathValue("id"))
+	run, gone := s.store.get(req.PathValue("id"))
 	if run == nil {
+		if gone {
+			httpError(w, http.StatusGone, "run evicted from the store (see -run-ttl / -max-runs)", nil)
+			return
+		}
 		httpError(w, http.StatusNotFound, "unknown run id", nil)
 		return
 	}
@@ -344,14 +471,19 @@ func (s *server) runStatusV1(w http.ResponseWriter, req *http.Request) {
 }
 
 // runEventsV1 streams an async run's events as server-sent events: the
-// replay buffer first (a late subscriber still sees the history), then
-// live events as they publish — at least one "progress" event per
-// completed sampling interval — ending with the terminal "done" (data:
-// the sim.Report) or "error" event. The stream also ends when the
-// client disconnects; the run itself keeps going.
+// replay buffer first (a late subscriber still sees the history —
+// prefixed by a "truncated" event when the buffer's front was evicted
+// under it), then live events as they publish — at least one "progress"
+// event per completed sampling interval — ending with the terminal
+// "done" (data: the sim.Report), "error" or "aborted" event. The stream
+// also ends when the client disconnects; the run itself keeps going.
 func (s *server) runEventsV1(w http.ResponseWriter, req *http.Request) {
-	run := s.store.get(req.PathValue("id"))
+	run, gone := s.store.get(req.PathValue("id"))
 	if run == nil {
+		if gone {
+			httpError(w, http.StatusGone, "run evicted from the store (see -run-ttl / -max-runs)", nil)
+			return
+		}
 		httpError(w, http.StatusNotFound, "unknown run id", nil)
 		return
 	}
@@ -368,7 +500,7 @@ func (s *server) runEventsV1(w http.ResponseWriter, req *http.Request) {
 
 	idx := 0
 	for {
-		evs, notify, complete := run.eventsSince(idx)
+		evs, next, notify, complete := run.eventsSince(idx)
 		for _, ev := range evs {
 			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.kind, ev.data); err != nil {
 				return
@@ -376,8 +508,8 @@ func (s *server) runEventsV1(w http.ResponseWriter, req *http.Request) {
 		}
 		if len(evs) > 0 {
 			fl.Flush()
-			idx += len(evs)
 		}
+		idx = next
 		if complete {
 			return
 		}
@@ -429,14 +561,27 @@ func (s *server) serveSweep(w http.ResponseWriter, req *http.Request, spec sim.S
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	}
 
+	// Sweeps participate in the drain ladder like runs: baseCtx
+	// cancellation aborts them, and inflight accounting holds the drain
+	// loop open until they finish.
+	ctx, cancel := context.WithCancel(req.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
 	// Sweeper.Write buffers internally per experiment, but a direct
 	// write to w would commit a 200 before later experiments run; buffer
 	// the whole document so errors still map to statuses.
 	var buf strings.Builder
 	start := time.Now()
-	err := s.sweeper.Write(req.Context(), &buf, format, spec)
+	s.inflight.Add(1)
+	err := s.sweeper.Write(ctx, &buf, format, spec)
+	s.inflight.Add(-1)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
+			if s.answerDrainAbort(w, err) {
+				return
+			}
 			logClientGone(req, err)
 			return
 		}

@@ -9,18 +9,23 @@ import (
 	"bebop/sim"
 )
 
-// maxReplayProgress bounds how many progress events one async run keeps
-// for late subscribers. Terminal events are always kept, so a client
-// that subscribes after a long run still sees its outcome; only the
-// middle of a very long progress stream is dropped.
-const maxReplayProgress = 512
+// maxReplayEvents bounds the replay buffer one async run keeps for late
+// subscribers. The buffer drops from the front (the oldest progress
+// events go first), so a late subscriber always sees the most recent
+// progress and the terminal event — prefixed by a "truncated" event
+// reporting how many it missed. Terminal events are published last and
+// therefore never dropped.
+const maxReplayEvents = 512
 
-// maxStoredRuns bounds the run store: once exceeded, the oldest
-// finished runs are evicted (their status and events become 404).
-const maxStoredRuns = 256
+// maxGoneIDs bounds the tombstone set remembering evicted run ids (so
+// their status answers 410 Gone, not 404). Past the bound the oldest
+// tombstones are forgotten and fall back to 404 — acceptable decay for
+// ids whose runs are long gone.
+const maxGoneIDs = 16384
 
 // runEvent is one server-sent event of an async run's stream: a kind
-// ("progress", "done" or "error") and its pre-marshaled JSON payload.
+// ("progress", "truncated", "done", "error" or "aborted") and its
+// pre-marshaled JSON payload.
 type runEvent struct {
 	kind string
 	data []byte
@@ -35,15 +40,19 @@ type asyncRun struct {
 	Spec    sim.RunSpec
 	started time.Time
 
-	mu       sync.Mutex
-	events   []runEvent
-	dropped  int // progress events beyond maxReplayProgress
-	notify   chan struct{}
-	state    string // "running" | "done" | "error"
-	streamed int64
-	total    int64
-	report   *sim.Report
-	errMsg   string
+	mu     sync.Mutex
+	events []runEvent
+	// firstIdx is the stream index of events[0]: the replay buffer is a
+	// window [firstIdx, firstIdx+len(events)) onto the full event
+	// sequence, sliding forward as old progress events are evicted.
+	firstIdx   int
+	notify     chan struct{}
+	state      string // "running" | "done" | "error" | "aborted"
+	finishedAt time.Time
+	streamed   int64
+	total      int64
+	report     *sim.Report
+	errMsg     string
 }
 
 // progress records one progress tick and wakes subscribers.
@@ -59,6 +68,10 @@ func (a *asyncRun) progress(streamed, total int64) {
 func (a *asyncRun) finish(rep sim.Report, err error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.state != "running" {
+		return
+	}
+	a.finishedAt = time.Now()
 	if err != nil {
 		a.state = "error"
 		a.errMsg = err.Error()
@@ -72,28 +85,62 @@ func (a *asyncRun) finish(rep sim.Report, err error) {
 	a.publishLocked(runEvent{kind: "done", data: blob})
 }
 
+// abort marks a run cut short by the server (drain timeout) with its
+// own terminal state, so SSE subscribers can tell "the spec failed"
+// from "the node went away; resubmit elsewhere".
+func (a *asyncRun) abort(reason string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.state != "running" {
+		return
+	}
+	a.state = "aborted"
+	a.errMsg = reason
+	a.finishedAt = time.Now()
+	blob, _ := json.Marshal(map[string]string{"error": reason})
+	a.publishLocked(runEvent{kind: "aborted", data: blob})
+}
+
 func (a *asyncRun) publishLocked(ev runEvent) {
-	if ev.kind == "progress" && len(a.events) >= maxReplayProgress {
-		a.dropped++
-	} else {
-		a.events = append(a.events, ev)
+	a.events = append(a.events, ev)
+	// Evict the oldest progress events past the cap. Only progress is
+	// evictable: terminal events arrive last and "truncated" markers are
+	// synthesized per subscriber, never stored.
+	for len(a.events) > maxReplayEvents && a.events[0].kind == "progress" {
+		a.events = a.events[1:]
+		a.firstIdx++
 	}
 	close(a.notify)
 	a.notify = make(chan struct{})
 }
 
-// eventsSince returns the events at index idx and later, a channel
-// closed on the next publish, and whether the stream is complete (the
-// run reached a terminal state and evs drains the buffer). Subscribers
-// poll by index instead of owning a channel, so a slow or abandoned
-// reader can never block the simulation goroutine.
-func (a *asyncRun) eventsSince(idx int) (evs []runEvent, notify <-chan struct{}, complete bool) {
+// eventsSince returns the events from stream index idx on, the index to
+// resume from, a channel closed on the next publish, and whether the
+// stream is complete (terminal state reached and evs drains the
+// buffer). A subscriber whose idx fell behind the sliding window gets a
+// synthetic "truncated" event reporting how many events it missed.
+// Subscribers poll by index instead of owning a channel, so a slow or
+// abandoned reader can never block the simulation goroutine.
+func (a *asyncRun) eventsSince(idx int) (evs []runEvent, next int, notify <-chan struct{}, complete bool) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if idx < len(a.events) {
-		evs = a.events[idx:len(a.events):len(a.events)]
+	if idx < a.firstIdx {
+		blob, _ := json.Marshal(map[string]int{"missed": a.firstIdx - idx})
+		evs = append(evs, runEvent{kind: "truncated", data: blob})
+		idx = a.firstIdx
 	}
-	return evs, a.notify, a.state != "running" && idx+len(evs) == len(a.events)
+	if off := idx - a.firstIdx; off < len(a.events) {
+		evs = append(evs, a.events[off:len(a.events):len(a.events)]...)
+	}
+	next = a.firstIdx + len(a.events)
+	return evs, next, a.notify, a.state != "running"
+}
+
+// terminal reports whether the run reached a terminal state, and when.
+func (a *asyncRun) terminal() (bool, time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.state != "running", a.finishedAt
 }
 
 // statusBody is the GET /v1/runs/{id} response.
@@ -116,16 +163,33 @@ func (a *asyncRun) statusBody() map[string]any {
 	return body
 }
 
-// runStore tracks async runs by id.
+// runStore tracks async runs by id, bounded two ways: completed runs
+// older than ttl are evicted lazily (on create and get), and past
+// maxRuns the oldest-finished runs go first (LRU on completion time).
+// Running runs are never evicted — their goroutine still publishes into
+// them. Evicted ids are remembered so their status answers 410 Gone.
 type runStore struct {
-	mu    sync.Mutex
-	seq   int
-	runs  map[string]*asyncRun
-	order []string // creation order, for eviction
+	ttl     time.Duration
+	maxRuns int
+
+	mu        sync.Mutex
+	seq       int
+	runs      map[string]*asyncRun
+	order     []string // creation order
+	gone      map[string]bool
+	goneOrder []string
 }
 
-func newRunStore() *runStore {
-	return &runStore{runs: map[string]*asyncRun{}}
+// newRunStore builds a store. ttl <= 0 disables time-based eviction;
+// maxRuns <= 0 selects 256.
+func newRunStore(ttl time.Duration, maxRuns int) *runStore {
+	if maxRuns <= 0 {
+		maxRuns = 256
+	}
+	return &runStore{
+		ttl: ttl, maxRuns: maxRuns,
+		runs: map[string]*asyncRun{}, gone: map[string]bool{},
+	}
 }
 
 func (st *runStore) create(spec sim.RunSpec) *asyncRun {
@@ -141,31 +205,89 @@ func (st *runStore) create(spec sim.RunSpec) *asyncRun {
 	}
 	st.runs[run.ID] = run
 	st.order = append(st.order, run.ID)
-	// Evict the oldest finished runs past the cap; running ones are
-	// never evicted (their goroutine still publishes into them).
-	for len(st.runs) > maxStoredRuns {
-		evicted := false
-		for i, id := range st.order {
-			old := st.runs[id]
-			old.mu.Lock()
-			done := old.state != "running"
-			old.mu.Unlock()
-			if done {
-				delete(st.runs, id)
-				st.order = append(st.order[:i:i], st.order[i+1:]...)
-				evicted = true
-				break
-			}
-		}
-		if !evicted {
-			break // everything is still running; let the store grow
-		}
-	}
+	st.sweepLocked(time.Now())
 	return run
 }
 
-func (st *runStore) get(id string) *asyncRun {
+// get returns the run, or (nil, true) when the id existed but was
+// evicted (410 Gone) and (nil, false) when it was never seen (404).
+func (st *runStore) get(id string) (run *asyncRun, gone bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.runs[id]
+	st.sweepLocked(time.Now())
+	if run := st.runs[id]; run != nil {
+		return run, false
+	}
+	return nil, st.gone[id]
+}
+
+// stats describes the store for /healthz.
+func (st *runStore) stats() map[string]any {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	running := 0
+	for _, run := range st.runs {
+		if done, _ := run.terminal(); !done {
+			running++
+		}
+	}
+	return map[string]any{
+		"runs":        len(st.runs),
+		"running":     running,
+		"evicted":     len(st.gone),
+		"max_runs":    st.maxRuns,
+		"ttl_seconds": st.ttl.Seconds(),
+	}
+}
+
+// sweepLocked applies both bounds: drop completed runs past ttl, then
+// drop the oldest-finished runs while the store exceeds maxRuns.
+func (st *runStore) sweepLocked(now time.Time) {
+	if st.ttl > 0 {
+		for _, id := range append([]string(nil), st.order...) {
+			run := st.runs[id]
+			if run == nil {
+				continue
+			}
+			if done, at := run.terminal(); done && now.Sub(at) > st.ttl {
+				st.evictLocked(id)
+			}
+		}
+	}
+	for len(st.runs) > st.maxRuns {
+		// Oldest completion time first; creation order breaks ties.
+		victim := ""
+		var vAt time.Time
+		for _, id := range st.order {
+			run := st.runs[id]
+			if run == nil {
+				continue
+			}
+			if done, at := run.terminal(); done && (victim == "" || at.Before(vAt)) {
+				victim, vAt = id, at
+			}
+		}
+		if victim == "" {
+			return // everything still running; let the store grow
+		}
+		st.evictLocked(victim)
+	}
+}
+
+func (st *runStore) evictLocked(id string) {
+	delete(st.runs, id)
+	for i, oid := range st.order {
+		if oid == id {
+			st.order = append(st.order[:i:i], st.order[i+1:]...)
+			break
+		}
+	}
+	if !st.gone[id] {
+		st.gone[id] = true
+		st.goneOrder = append(st.goneOrder, id)
+		for len(st.goneOrder) > maxGoneIDs {
+			delete(st.gone, st.goneOrder[0])
+			st.goneOrder = st.goneOrder[1:]
+		}
+	}
 }

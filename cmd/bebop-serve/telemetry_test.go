@@ -23,7 +23,9 @@ func promSeries(t *testing.T, body string) map[string]float64 {
 	t.Helper()
 	series := map[string]float64{}
 	types := map[string]bool{}
-	line := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})?) (-?[0-9.eE+Inf-]+)$`)
+	// Label values may themselves contain braces (route="GET /v1/runs/{id}"),
+	// so match the label block greedily to its final closing brace.
+	line := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*(?:\{.*\})?) (-?[0-9.eE+Inf-]+)$`)
 	for _, l := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
 		if strings.HasPrefix(l, "# TYPE ") {
 			f := strings.Fields(l)
@@ -285,7 +287,7 @@ func TestV1AsyncEventsClientDisconnect(t *testing.T) {
 	// The run must finish despite the lost subscriber.
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		run := s.store.get(id)
+		run, _ := s.store.get(id)
 		if run == nil {
 			t.Fatal("run vanished from the store")
 		}

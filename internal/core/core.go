@@ -17,9 +17,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sync"
 
 	"bebop/internal/bebop"
+	"bebop/internal/faultinject"
 	"bebop/internal/isa"
 	"bebop/internal/pipeline"
 	"bebop/internal/predictor"
@@ -36,6 +38,8 @@ var (
 		"Processor acquisitions by outcome (reused = recycled from the pool).")
 	mProcNew = telemetry.Default.Counter(`bebop_core_proc_pool_total{outcome="new"}`,
 		"Processor acquisitions by outcome (reused = recycled from the pool).")
+	mRunPanics = telemetry.Default.Counter("bebop_core_run_panics_total",
+		"Simulation panics recovered into per-run errors (the process survives).")
 )
 
 // ConfigFactory builds a fresh pipeline configuration. Predictors are
@@ -205,12 +209,9 @@ func RunSourceProgress(ctx context.Context, src workload.Source, warmup, insts i
 		run = &cancelStream{inner: stream, ctx: ctx, total: warmup + insts, on: on}
 	}
 	sp := telemetry.TraceFrom(ctx).Start("detailed").SetInsts(warmup + insts)
-	proc := acquireProc(mk(), run)
-	r := proc.RunWarm(warmup, 0)
+	r, err := runDetailed(mk, run, warmup)
 	sp.End()
-	proc.Release()
-	procPool.Put(proc)
-	if es, ok := run.(errStream); ok && es.Err() != nil {
+	if es, ok := run.(errStream); ok && es.Err() != nil && err == nil {
 		err = fmt.Errorf("core: workload %q: %w", src.Name(), es.Err())
 	}
 	if c, ok := stream.(io.Closer); ok {
@@ -219,6 +220,30 @@ func RunSourceProgress(ctx context.Context, src workload.Source, warmup, insts i
 		}
 	}
 	return r, err
+}
+
+// runDetailed executes one detailed simulation pass with panic
+// isolation: a panicking pipeline (simulator bug on a pathological
+// input, chaos injection at the "core.run" point) becomes a per-run
+// error carrying the stack instead of taking down the process and every
+// other in-flight run. On panic the processor is deliberately NOT
+// released back to procPool — its tables are in an unknown state and
+// must not poison a later run; the pool re-allocates.
+func runDetailed(mk ConfigFactory, run isa.Stream, warmup int64) (r pipeline.Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			mRunPanics.Inc()
+			err = fmt.Errorf("core: simulation panicked: %v\n%s", rec, debug.Stack())
+		}
+	}()
+	if err := faultinject.Fire("core.run"); err != nil {
+		return pipeline.Result{}, err
+	}
+	proc := acquireProc(mk(), run)
+	r = proc.RunWarm(warmup, 0)
+	proc.Release()
+	procPool.Put(proc)
+	return r, nil
 }
 
 // Baseline returns the Baseline_6_60 factory.

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"bebop/internal/faultinject"
 	"bebop/internal/isa"
 	"bebop/internal/pipeline"
 	"bebop/internal/telemetry"
@@ -203,7 +205,7 @@ func RunSampled(ctx context.Context, src workload.Source, warmup, insts int64, m
 					continue
 				}
 				t0 := time.Now()
-				res, used, err := runInterval(ctx, src, warmup+int64(i)*stride, i, mk, sp)
+				res, used, err := runIntervalGuarded(ctx, src, warmup+int64(i)*stride, i, mk, sp)
 				mIntervalSeconds.Observe(time.Since(t0).Seconds())
 				outs[i] = intervalOut{res: res, usedCkpt: used, err: err}
 				if sp.OnInterval != nil && err == nil {
@@ -258,6 +260,26 @@ func RunSampled(ctx context.Context, src workload.Source, warmup, insts int64, m
 		agg.BrMispPKI = 1000 * float64(agg.BrMispredicts) / float64(agg.Insts)
 	}
 	return agg, st, nil
+}
+
+// runIntervalGuarded is runInterval with panic isolation: a worker
+// goroutine that panics mid-interval (simulator bug, chaos injection at
+// the "core.interval" point) fails that interval — and with it the
+// sampled run — instead of crashing the process. A processor seized by
+// the panic is never returned to procPool (runInterval's finish path
+// does not run during the unwind), so poisoned state cannot leak into
+// later runs.
+func runIntervalGuarded(ctx context.Context, src workload.Source, s int64, idx int, mk ConfigFactory, sp SamplingParams) (r pipeline.Result, used bool, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			mRunPanics.Inc()
+			err = fmt.Errorf("core: interval simulation panicked: %v\n%s", rec, debug.Stack())
+		}
+	}()
+	if err := faultinject.Fire("core.interval"); err != nil {
+		return pipeline.Result{}, false, err
+	}
+	return runInterval(ctx, src, s, idx, mk, sp)
 }
 
 // runInterval simulates one measurement interval whose detailed

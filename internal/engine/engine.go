@@ -18,10 +18,12 @@ package engine
 import (
 	"context"
 	"hash/fnv"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"bebop/internal/faultinject"
 	"bebop/internal/telemetry"
 )
 
@@ -39,6 +41,10 @@ var (
 		"Jobs holding a cache entry while waiting for a worker slot.")
 	mBusy = telemetry.Default.Gauge("bebop_engine_busy_workers",
 		"Worker slots currently executing a job.")
+	mJobPanics = telemetry.Default.Counter("bebop_engine_job_panics_total",
+		"Worker panics recovered into per-job errors (the process survives).")
+	mJobRetries = telemetry.Default.Counter("bebop_engine_job_retries_total",
+		"Job re-executions after a transient error or recovered panic.")
 )
 
 // Job is one unit of schedulable work: a cacheable computation identified
@@ -98,6 +104,16 @@ type Options struct {
 	// OnProgress, when set, receives per-job progress events. It may be
 	// called from many goroutines concurrently and must be safe for that.
 	OnProgress func(Event)
+	// Retries bounds re-executions of a job whose attempt failed with a
+	// transient error (see Transient) or a recovered panic. 0 selects
+	// the default (2); negative disables retries. Deterministic errors
+	// are never retried.
+	Retries int
+	// RetryBackoff is the base of the exponential full-jitter backoff
+	// between attempts (default 25ms; capped at 1s per attempt). Tests
+	// shrink it; production keeps the default so a flapping dependency
+	// is not hammered.
+	RetryBackoff time.Duration
 }
 
 // Stats is a snapshot of engine counters.
@@ -117,9 +133,11 @@ type Stats struct {
 // Engine schedules jobs over a striped result cache and a bounded worker
 // pool. The zero value is not usable; call New.
 type Engine[V any] struct {
-	shards []shard[V]
-	sem    chan struct{}
-	onProg func(Event)
+	shards  []shard[V]
+	sem     chan struct{}
+	onProg  func(Event)
+	retries int
+	backoff time.Duration
 
 	hits, misses, runs atomic.Uint64
 }
@@ -134,10 +152,23 @@ func New[V any](opts Options) *Engine[V] {
 	if nw <= 0 {
 		nw = defaultWorkers()
 	}
+	retries := opts.Retries
+	switch {
+	case retries == 0:
+		retries = 2
+	case retries < 0:
+		retries = 0
+	}
+	bo := opts.RetryBackoff
+	if bo <= 0 {
+		bo = 25 * time.Millisecond
+	}
 	e := &Engine[V]{
-		shards: make([]shard[V], ns),
-		sem:    make(chan struct{}, nw),
-		onProg: opts.OnProgress,
+		shards:  make([]shard[V], ns),
+		sem:     make(chan struct{}, nw),
+		onProg:  opts.OnProgress,
+		retries: retries,
+		backoff: bo,
 	}
 	for i := range e.shards {
 		e.shards[i].m = map[string]*entry[V]{}
@@ -198,10 +229,17 @@ func (e *Engine[V]) Run(ctx context.Context, job Job[V]) (JobResult[V], error) {
 
 // resolve returns the job's value, serving from cache when possible and
 // executing under a worker slot otherwise. The bool reports a cache hit.
+//
+// Failure handling: an attempt that panics is recovered into a
+// *PanicError (the entry is unpublished, so the cache never retains an
+// errored or poisoned result), and attempts that fail transiently — or
+// by panic — are re-run up to Options.Retries times with exponential
+// full-jitter backoff. Deterministic errors propagate immediately.
 func (e *Engine[V]) resolve(ctx context.Context, job Job[V]) (V, bool, error) {
 	var zero V
 	key := job.cacheKey()
 	sh := e.shardFor(key)
+	attempt := 0
 
 	for {
 		// A select with both a free worker slot and a dead context ready
@@ -258,19 +296,47 @@ func (e *Engine[V]) resolve(ctx context.Context, job Job[V]) (V, bool, error) {
 		e.runs.Add(1)
 		mJobRuns.Inc()
 		mBusy.Add(1)
-		val, err := job.Run(ctx)
+		val, err := runGuarded(ctx, job)
 		mBusy.Add(-1)
 		<-e.sem
 		if err != nil {
+			// Unpublish before releasing waiters: the cache must never
+			// retain an errored (or panicked) entry.
 			sh.remove(key)
 			ent.err = err
 			close(ent.done)
+			if retryable(err) && attempt < e.retries {
+				attempt++
+				mJobRetries.Inc()
+				if serr := sleepCtx(ctx, backoff(e.backoff, time.Second, attempt)); serr != nil {
+					return zero, false, serr
+				}
+				continue
+			}
 			return zero, false, err
 		}
 		ent.val = val
 		close(ent.done)
 		return val, false, nil
 	}
+}
+
+// runGuarded executes one job attempt with panic isolation: a panicking
+// Run (simulator bug, chaos injection) becomes a *PanicError carrying
+// the stack, poisoning only this job. The "engine.worker" failure point
+// sits inside the guard so injected panics exercise the same recovery
+// path real ones take.
+func runGuarded[V any](ctx context.Context, job Job[V]) (val V, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			mJobPanics.Inc()
+			err = &PanicError{Value: rec, Stack: debug.Stack()}
+		}
+	}()
+	if err := faultinject.Fire("engine.worker"); err != nil {
+		return val, err
+	}
+	return job.Run(ctx)
 }
 
 // Stats snapshots the engine counters and cache occupancy.

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// PanicError is a worker panic converted into a per-job error: the
+// recovered value plus the goroutine stack at the panic site. One bad
+// job (a RunSpec that trips a simulator bug, an injected chaos panic)
+// fails with this error instead of taking the process — and with it
+// every other in-flight run — down.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: job panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// transientError marks an error as worth retrying.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so the engine's bounded retry applies to it.
+// Producers of plausibly-recoverable failures — checkpoint side-file
+// IO, trace reads racing a rebuild, remote stores — classify with this;
+// deterministic failures (bad spec, corrupt format) must not, or the
+// retry budget is wasted re-proving them.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err (anywhere in its chain) was
+// classified with Transient.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// retryable reports whether a failed execution may be re-run: transient
+// errors by classification, and panics because a crashed worker says
+// nothing definitive about the job (a heap-pressure or pool-corruption
+// panic clears on a fresh attempt; a deterministic one just exhausts
+// the small retry budget). Context errors never retry — the caller is
+// gone.
+func retryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if IsTransient(err) {
+		return true
+	}
+	var p *PanicError
+	return errors.As(err, &p)
+}
+
+// backoff returns the sleep before retry attempt n (1-based): full
+// jitter over an exponentially growing window, base·2^(n-1) capped at
+// cap. Full jitter (rather than equal or decorrelated) spreads a burst
+// of workers that failed together — the thundering-herd shape a shared
+// store outage produces — as widely as the window allows.
+func backoff(base, cap time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	window := base << (attempt - 1)
+	if window > cap || window <= 0 {
+		window = cap
+	}
+	return time.Duration(rand.Int63n(int64(window) + 1))
+}
+
+// sleepCtx sleeps for d or until ctx is done, returning ctx's error in
+// the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 
+	"bebop/internal/engine"
+	"bebop/internal/faultinject"
 	"bebop/internal/pipeline"
 )
 
@@ -56,35 +58,54 @@ func CheckpointPath(tracePath, configName string) string {
 // and rename, so a crashed build never leaves a truncated file a later
 // run would trust. The format version is stamped onto cf here; callers
 // only fill the identity and the points.
+// IO failures (temp-file creation, write, rename) are classified
+// engine.Transient — a full disk or racing cleanup may clear; a
+// structurally invalid file never will.
 func WriteCheckpoints(path string, cf *CheckpointFile) error {
 	cf.Version = checkpointVersion
 	if err := cf.check(); err != nil {
 		return fmt.Errorf("trace: write checkpoints: %w", err)
 	}
+	if err := faultinject.Fire("trace.checkpoint.write"); err != nil {
+		return engine.Transient(fmt.Errorf("trace: write checkpoints: %w", err))
+	}
 	// Same directory as the target: rename must not cross filesystems.
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".bebop-ckpt-*")
 	if err != nil {
-		return err
+		return engine.Transient(err)
 	}
 	defer os.Remove(tmp.Name())
 	if err := gob.NewEncoder(tmp).Encode(cf); err != nil {
 		tmp.Close()
-		return fmt.Errorf("trace: encode checkpoints: %w", err)
+		return engine.Transient(fmt.Errorf("trace: encode checkpoints: %w", err))
 	}
 	if err := tmp.Close(); err != nil {
-		return err
+		return engine.Transient(err)
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return engine.Transient(err)
+	}
+	return nil
 }
 
 // LoadCheckpoints decodes and structurally validates a side-file.
 // Identity against a particular trace and configuration is the separate
 // Validate step, so callers can report "no checkpoints" and "wrong
 // checkpoints" differently.
+// Open failures are classified engine.Transient (NFS blips, racing
+// writers); decode and validation failures are not — a corrupt or
+// mismatched file stays corrupt, and the caller's rebuild path is the
+// fix, not a retry.
 func LoadCheckpoints(path string) (*CheckpointFile, error) {
+	if err := faultinject.Fire("trace.checkpoint.read"); err != nil {
+		return nil, fmt.Errorf("trace: load %s: %w", path, err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		if os.IsNotExist(err) {
+			return nil, err
+		}
+		return nil, engine.Transient(err)
 	}
 	defer f.Close()
 	var cf CheckpointFile

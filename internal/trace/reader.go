@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 
+	"bebop/internal/faultinject"
 	"bebop/internal/isa"
 )
 
@@ -204,6 +205,10 @@ func (r *Reader) Next(in *isa.Inst) bool {
 // the reusable buffers. It returns false at the sentinel (clean end) or
 // on error.
 func (r *Reader) nextFrame() bool {
+	if ferr := faultinject.Fire("trace.frame.decode"); ferr != nil {
+		r.err = formatErr("frame decode: %v", ferr)
+		return false
+	}
 	instCount, err := r.readUvarint()
 	if err != nil {
 		r.err = formatErr("frame header: %v", err)

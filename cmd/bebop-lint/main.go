@@ -1,0 +1,114 @@
+// Command bebop-lint is the repo's invariant multichecker: four custom
+// analyzers that move the load-bearing runtime properties — bit-identical
+// determinism, checkpoint snapshot completeness, hot-path allocation
+// freedom, and the bebop/sim SDK boundary — from "caught by the right
+// test, sometimes" to "rejected at analysis time, always".
+//
+// Usage:
+//
+//	bebop-lint [flags] [packages]
+//
+// With no packages, ./... is analyzed. Each analyzer has an enable flag
+// (all default true); -escape additionally cross-checks //bebop:hotpath
+// functions against the compiler's real escape analysis; -json emits
+// machine-readable findings. Exit status: 0 clean, 1 findings, 2 failure
+// to analyze.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"bebop/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		det      = flag.Bool("det", true, "run detlint (determinism-critical packages)")
+		snap     = flag.Bool("snap", true, "run snaplint (snapshot completeness)")
+		hotalloc = flag.Bool("hotalloc", true, "run hotalloc (//bebop:hotpath allocation rules)")
+		boundary = flag.Bool("boundary", true, "run boundarylint (SDK boundary + report schema tags)")
+		escape   = flag.Bool("escape", false, "cross-check //bebop:hotpath functions against compiler escape analysis (-gcflags=-m)")
+		jsonOut  = flag.Bool("json", false, "emit findings as JSON")
+		dir      = flag.String("C", ".", "directory to resolve package patterns from")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bebop-lint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range []*analysis.Analyzer{analysis.Detlint, analysis.Snaplint, analysis.Hotalloc, analysis.Boundarylint} {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var analyzers []*analysis.Analyzer
+	if *det {
+		analyzers = append(analyzers, analysis.Detlint)
+	}
+	if *snap {
+		analyzers = append(analyzers, analysis.Snaplint)
+	}
+	if *hotalloc {
+		analyzers = append(analyzers, analysis.Hotalloc)
+	}
+	if *boundary {
+		analyzers = append(analyzers, analysis.Boundarylint)
+	}
+
+	pkgs, err := analysis.Load(*dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bebop-lint:", err)
+		return 2
+	}
+	diags, err := analysis.RunAnalyzers(analyzers, pkgs, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bebop-lint:", err)
+		return 2
+	}
+	if *escape {
+		ediags, err := analysis.CheckEscapes(*dir, pkgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bebop-lint:", err)
+			return 2
+		}
+		diags = append(diags, ediags...)
+	}
+
+	if *jsonOut {
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column, Analyzer: d.Analyzer, Message: d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "bebop-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "bebop-lint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,190 @@
+// Package analysis is the repo's static-analysis substrate: a minimal,
+// dependency-free reimplementation of the go/analysis vocabulary
+// (Analyzer, Pass, Diagnostic) plus a package loader built on
+// `go list -export` and the standard library's gc-export-data importer.
+//
+// The stock golang.org/x/tools module is deliberately not used: the
+// analyzers below encode repo-specific invariants (determinism of the
+// simulation core, snapshot completeness of the checkpoint seam,
+// allocation discipline on //bebop:hotpath functions, and the bebop/sim
+// SDK boundary), and the whole suite must build from a clean checkout
+// with nothing but the Go toolchain.
+//
+// Suppression directives understood by the driver:
+//
+//	//bebop:allow <analyzer> -- <reason>
+//
+// placed on (or immediately above) the offending line silences that one
+// analyzer there. The reason is mandatory; a bare directive is itself a
+// diagnostic. snaplint additionally honors a field-level directive,
+// //bebop:nosnap <reason> (see snaplint.go), and hotalloc is opt-in via
+// //bebop:hotpath on a function (see hotalloc.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //bebop:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Match, when non-nil, restricts the analyzer to packages whose
+	// import path it accepts. The multichecker applies it; the
+	// analysistest harness bypasses it so fixtures always run.
+	Match func(pkgPath string) bool
+	// Run performs the analysis on one type-checked package.
+	Run func(*Pass) error
+}
+
+// A Pass is one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	allows allowIndex
+	diags  *[]Diagnostic
+}
+
+// A Diagnostic is one finding, position already resolved.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding unless an allow directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allows.covers(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowIndex maps file name -> line -> analyzer names suppressed there.
+// A directive covers its own line and the line below it, so both
+// trailing comments and whole-line comments above the construct work.
+type allowIndex map[string]map[int][]string
+
+func (ai allowIndex) covers(analyzer string, pos token.Position) bool {
+	lines := ai[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[l] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const allowPrefix = "//bebop:allow"
+
+// scanAllows indexes //bebop:allow directives in the package and returns
+// a diagnostic for every directive missing its mandatory reason.
+func scanAllows(fset *token.FileSet, files []*ast.File) (allowIndex, []Diagnostic) {
+	idx := allowIndex{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				text := c.Text
+				// Fixture affordance: a `// want` expectation appended to
+				// the directive is not part of the justification.
+				if i := strings.Index(text, "// want"); i > 0 {
+					text = strings.TrimSpace(text[:i])
+				}
+				rest := strings.TrimPrefix(text, allowPrefix)
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) == 0 {
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "directive",
+						Message: "bebop:allow directive names no analyzer"})
+					continue
+				}
+				name := fields[0]
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(strings.Join(fields[1:], " ")), "--"))
+				if reason == "" {
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "directive",
+						Message: fmt.Sprintf("bebop:allow %s needs a justification: //bebop:allow %s -- <reason>", name, name)})
+					continue
+				}
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], name)
+			}
+		}
+	}
+	return idx, bad
+}
+
+// RunAnalyzers applies each analyzer to each loaded package (honoring
+// Match when applyMatch is set) and returns all findings sorted by
+// position.
+func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package, applyMatch bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, lp := range pkgs {
+		allows, bad := scanAllows(lp.Fset, lp.Files)
+		diags = append(diags, bad...)
+		for _, a := range analyzers {
+			if applyMatch && a.Match != nil && !a.Match(lp.PkgPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      lp.Fset,
+				Files:     lp.Files,
+				Pkg:       lp.Types,
+				TypesInfo: lp.Info,
+				allows:    allows,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("%s on %s: %w", a.Name, lp.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

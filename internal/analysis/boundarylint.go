@@ -1,0 +1,319 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Boundarylint enforces the SDK boundary defined in PR 5 and pinned
+// until now by a CI grep and half of the golden-schema test:
+//
+//  1. examples/ (the repo's stand-in for external consumers) may import
+//     bebop/sim but never bebop/internal/...;
+//  2. bebop/sim may not leak internal named types through exported
+//     signatures, except the types it deliberately re-exports as
+//     aliases (sim.Profile = workload.Profile, ...): the alias makes
+//     them part of the supported surface under a public name;
+//  3. every struct reachable from sim.Report through exported fields
+//     must tag each exported field with a snake_case `json:` key (or
+//     "-"): Report is the wire format, and an untagged field marshals
+//     under its CamelCase Go name, silently forking the schema. Types
+//     sim re-exports as aliases are exempt: their Go-field-name
+//     encoding is frozen history, pinned byte-for-byte by the
+//     report_schema_v*.golden compat tests (spec.profile.* may never
+//     be renamed without breaking every existing result file).
+var Boundarylint = &Analyzer{
+	Name: "boundarylint",
+	Doc:  "examples import only bebop/sim; sim's exported surface leaks no internal types; Report-reachable structs carry snake_case JSON tags",
+	Run:  runBoundarylint,
+}
+
+const (
+	internalPrefix = "bebop/internal/"
+	simPath        = "bebop/sim"
+)
+
+func isExamplePkg(path string) bool {
+	return strings.HasPrefix(path, "bebop/examples/") || strings.HasPrefix(path, "examples/")
+}
+
+func runBoundarylint(pass *Pass) error {
+	switch {
+	case isExamplePkg(pass.Pkg.Path()):
+		checkConsumerImports(pass)
+	case pass.Pkg.Path() == simPath:
+		checkSDKSurface(pass)
+	}
+	return nil
+}
+
+// checkConsumerImports rejects bebop/internal imports from consumer
+// packages. (This replaces the `grep bebop/internal examples/` CI step
+// with a check that sees through renames and blank imports.)
+func checkConsumerImports(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if strings.HasPrefix(path, internalPrefix) {
+				pass.Reportf(imp.Pos(), "consumer package imports %s; external code may depend only on %s — extend the SDK facade instead of reaching into internal/", path, simPath)
+			}
+		}
+	}
+}
+
+// checkSDKSurface runs rules 2 and 3 on the sim package itself.
+func checkSDKSurface(pass *Pass) {
+	permitted := aliasPermittedTypes(pass.Pkg)
+
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch o := obj.(type) {
+		case *types.Func:
+			reportLeaks(pass, o.Pos(), fmt.Sprintf("func %s", name), o.Type(), permitted)
+		case *types.Var:
+			reportLeaks(pass, o.Pos(), fmt.Sprintf("var %s", name), o.Type(), permitted)
+		case *types.TypeName:
+			if o.IsAlias() {
+				continue // the alias IS the sanctioned re-export
+			}
+			named, ok := o.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if st, ok := named.Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					f := st.Field(i)
+					if f.Exported() {
+						reportLeaks(pass, f.Pos(), fmt.Sprintf("field %s.%s", name, f.Name()), f.Type(), permitted)
+					}
+				}
+			}
+			for i := 0; i < named.NumMethods(); i++ {
+				m := named.Method(i)
+				if m.Exported() {
+					reportLeaks(pass, m.Pos(), fmt.Sprintf("method (%s).%s", name, m.Name()), m.Type(), permitted)
+				}
+			}
+		}
+	}
+
+	if rep, ok := scope.Lookup("Report").(*types.TypeName); ok {
+		checkJSONTags(pass, rep.Type(), permitted)
+	}
+}
+
+// aliasPermittedTypes collects the internal named types that sim
+// re-exports as aliases: those are the supported escape hatches.
+func aliasPermittedTypes(pkg *types.Package) map[*types.TypeName]bool {
+	permitted := map[*types.TypeName]bool{}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() || !tn.IsAlias() {
+			continue
+		}
+		if named, ok := types.Unalias(tn.Type()).(*types.Named); ok {
+			if o := named.Obj(); o.Pkg() != nil && strings.HasPrefix(o.Pkg().Path(), internalPrefix) {
+				permitted[o] = true
+			}
+		}
+	}
+	return permitted
+}
+
+// reportLeaks walks a type and reports every internal named type it
+// mentions that is not alias-permitted.
+func reportLeaks(pass *Pass, pos token.Pos, what string, t types.Type, permitted map[*types.TypeName]bool) {
+	seen := map[types.Type]bool{}
+	var walk func(t types.Type)
+	walk = func(t types.Type) {
+		if t == nil || seen[t] {
+			return
+		}
+		seen[t] = true
+		switch x := t.(type) {
+		case *types.Named:
+			o := x.Obj()
+			if o.Pkg() != nil && strings.HasPrefix(o.Pkg().Path(), internalPrefix) && !permitted[o] {
+				pass.Reportf(pos, "%s leaks internal type %s.%s through the SDK surface; re-export it as a sim alias or wrap it", what, o.Pkg().Path(), o.Name())
+				return // the named type itself is the finding; don't recurse into it
+			}
+			if o.Pkg() != nil && o.Pkg().Path() != simPath {
+				return // foreign non-internal type: not ours to expand
+			}
+			walk(x.Underlying())
+			for i := 0; i < x.TypeArgs().Len(); i++ {
+				walk(x.TypeArgs().At(i))
+			}
+		case *types.Alias:
+			walk(types.Unalias(x))
+		case *types.Pointer:
+			walk(x.Elem())
+		case *types.Slice:
+			walk(x.Elem())
+		case *types.Array:
+			walk(x.Elem())
+		case *types.Map:
+			walk(x.Key())
+			walk(x.Elem())
+		case *types.Chan:
+			walk(x.Elem())
+		case *types.Signature:
+			for i := 0; i < x.Params().Len(); i++ {
+				walk(x.Params().At(i).Type())
+			}
+			for i := 0; i < x.Results().Len(); i++ {
+				walk(x.Results().At(i).Type())
+			}
+		case *types.Struct:
+			for i := 0; i < x.NumFields(); i++ {
+				if x.Field(i).Exported() {
+					walk(x.Field(i).Type())
+				}
+			}
+		case *types.Interface:
+			for i := 0; i < x.NumExplicitMethods(); i++ {
+				walk(x.ExplicitMethod(i).Type())
+			}
+		}
+	}
+	walk(t)
+}
+
+var snakeCaseJSON = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// checkJSONTags walks the struct graph reachable from sim.Report via
+// exported fields and validates every field's json tag. Alias-permitted
+// internal types are not descended into: their encoding predates the
+// snake_case rule and is pinned by the frozen schema goldens.
+func checkJSONTags(pass *Pass, root types.Type, permitted map[*types.TypeName]bool) {
+	seen := map[*types.TypeName]bool{}
+	var visit func(t types.Type)
+	visit = func(t types.Type) {
+		t = types.Unalias(t)
+		switch x := t.(type) {
+		case *types.Pointer:
+			visit(x.Elem())
+			return
+		case *types.Slice:
+			visit(x.Elem())
+			return
+		case *types.Array:
+			visit(x.Elem())
+			return
+		case *types.Map:
+			visit(x.Elem())
+			return
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return
+		}
+		o := named.Obj()
+		if o.Pkg() == nil || seen[o] {
+			return // builtin or already visited
+		}
+		if permitted[o] {
+			return // alias re-export: encoding frozen by the schema goldens
+		}
+		path := o.Pkg().Path()
+		if path != simPath && !strings.HasPrefix(path, internalPrefix) && path != "bebop" && !strings.HasPrefix(path, "bebop/") {
+			return // stdlib types marshal under their own contract
+		}
+		seen[o] = true
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			key, ok := jsonKey(st.Tag(i))
+			switch {
+			case !ok:
+				pass.Reportf(f.Pos(), "field %s.%s is reachable from sim.Report but has no json tag; it would marshal as %q, forking the report schema — tag it snake_case or `json:\"-\"`", o.Name(), f.Name(), f.Name())
+			case key != "-" && key != "" && !snakeCaseJSON.MatchString(key):
+				pass.Reportf(f.Pos(), "field %s.%s has json key %q; the report schema is snake_case", o.Name(), f.Name(), key)
+			case key == "" && !f.Embedded():
+				pass.Reportf(f.Pos(), "field %s.%s has a json tag with an empty key; name it explicitly", o.Name(), f.Name())
+			}
+			if key != "-" {
+				visit(f.Type())
+			}
+		}
+	}
+	visit(root)
+}
+
+// jsonKey extracts the json key from a struct tag; ok is false when the
+// tag has no json entry at all.
+func jsonKey(tag string) (key string, ok bool) {
+	st := reflectStructTag(tag)
+	v, ok := st.lookup("json")
+	if !ok {
+		return "", false
+	}
+	if i := strings.IndexByte(v, ','); i >= 0 {
+		v = v[:i]
+	}
+	return v, true
+}
+
+// reflectStructTag is a tiny copy of reflect.StructTag.Lookup so the
+// analyzer does not need to round-trip through reflect.
+type reflectStructTag string
+
+func (tag reflectStructTag) lookup(key string) (string, bool) {
+	for tag != "" {
+		i := 0
+		for i < len(tag) && tag[i] == ' ' {
+			i++
+		}
+		tag = tag[i:]
+		if tag == "" {
+			break
+		}
+		i = 0
+		for i < len(tag) && tag[i] > ' ' && tag[i] != ':' && tag[i] != '"' && tag[i] != 0x7f {
+			i++
+		}
+		if i == 0 || i+1 >= len(tag) || tag[i] != ':' || tag[i+1] != '"' {
+			break
+		}
+		name := string(tag[:i])
+		tag = tag[i+1:]
+		i = 1
+		for i < len(tag) && tag[i] != '"' {
+			if tag[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(tag) {
+			break
+		}
+		qvalue := string(tag[:i+1])
+		tag = tag[i+1:]
+		if key == name {
+			value, err := strconv.Unquote(qvalue)
+			if err != nil {
+				break
+			}
+			return value, true
+		}
+	}
+	return "", false
+}

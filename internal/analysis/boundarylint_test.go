@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"bebop/internal/analysis"
+	"bebop/internal/analysis/analysistest"
+)
+
+func TestBoundarylint(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.Boundarylint,
+		"bebop/sim", "bebop/examples/demo")
+}

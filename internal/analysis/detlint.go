@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetCriticalRoots are the package-path prefixes where determinism is
+// load-bearing: any state these packages evolve must be a pure function
+// of the normalized RunSpec, or the content-addressed report cache and
+// the bit-identity differential tests are both unsound.
+var DetCriticalRoots = []string{
+	"bebop/internal/pipeline",
+	"bebop/internal/predictor",
+	"bebop/internal/branch",
+	"bebop/internal/cache",
+	"bebop/internal/core",
+}
+
+func matchDetCritical(pkgPath string) bool {
+	for _, root := range DetCriticalRoots {
+		if pkgPath == root || strings.HasPrefix(pkgPath, root+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Detlint flags constructs whose results depend on something other than
+// the inputs — map iteration order, the global math/rand source, the
+// wall clock, and goroutine-scheduling-order writes to shared state — in
+// determinism-critical packages. Same normalized RunSpec must produce a
+// bit-identical Report; each of these constructs can silently break that.
+var Detlint = &Analyzer{
+	Name:  "detlint",
+	Doc:   "forbid nondeterministic constructs (map ranges, global rand, wall clock, racy captured writes) in simulation-state packages",
+	Match: matchDetCritical,
+	Run:   runDetlint,
+}
+
+// wallClockFuncs are time package functions that read or depend on the
+// wall clock / scheduler. Conversions and constructors (Duration,
+// Unix, ...) stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTicker": true,
+	"NewTimer": true, "AfterFunc": true, "Sleep": true,
+}
+
+// seededRandFuncs are the math/rand constructors that produce an
+// explicitly seeded, locally owned source; everything else exported from
+// math/rand draws from the process-global generator.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDetlint(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			case *ast.SelectorExpr:
+				checkNondetCall(pass, n)
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkGoroutineWrites(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, r *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(r.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); ok {
+		pass.Reportf(r.Pos(), "range over map %s has nondeterministic iteration order; sort the keys first, or annotate the loop with //bebop:allow detlint -- <why the order cannot reach simulation state>", nodeText(r.X))
+	}
+}
+
+func checkNondetCall(pass *Pass, sel *ast.SelectorExpr) {
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pkgName.Imported().Path() {
+	case "time":
+		if wallClockFuncs[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock; simulation state must be a pure function of the RunSpec (annotate //bebop:allow detlint if the value only feeds telemetry)", sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededRandFuncs[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(), "math/rand.%s draws from the process-global source; use util.RNG (or an explicitly seeded rand.New) so replays are bit-identical", sel.Sel.Name)
+		}
+	}
+}
+
+// checkGoroutineWrites flags direct writes to captured variables inside
+// a `go func() {...}` literal: the write order depends on goroutine
+// scheduling. Index writes through captured slices/maps (outs[i] = ...)
+// are exempt — each goroutine owning a distinct index is the repo's
+// deterministic fan-out idiom.
+func checkGoroutineWrites(pass *Pass, lit *ast.FuncLit) {
+	report := func(pos token.Pos, target string) {
+		pass.Reportf(pos, "write to captured %s inside a goroutine is ordered by the scheduler; reduce per-index results deterministically instead (or //bebop:allow detlint -- <why order cannot reach the Result>)", target)
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return true // nested literals inherit the same capture check
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, direct := capturedRoot(pass, lit, lhs); direct && id != nil {
+					report(lhs.Pos(), id.Name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, direct := capturedRoot(pass, lit, n.X); direct && id != nil {
+				report(n.X.Pos(), id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// capturedRoot resolves the root identifier of an assignment target and
+// reports whether the write is "direct" (plain variable or field chain,
+// no index expression on the way) and the root is captured from outside
+// the function literal.
+func capturedRoot(pass *Pass, lit *ast.FuncLit, e ast.Expr) (*ast.Ident, bool) {
+	direct := true
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.ObjectOf(x)
+			v, ok := obj.(*types.Var)
+			if !ok || v.Pos() == token.NoPos {
+				return nil, false
+			}
+			if lit.Pos() <= v.Pos() && v.Pos() <= lit.End() {
+				return nil, false // declared inside the literal
+			}
+			if v.IsField() || v.Parent() == nil || v.Parent().Parent() == types.Universe {
+				return nil, false // struct field selector base or package-level var: not a capture
+			}
+			return x, direct
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			direct = false
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// nodeText renders a short expression for a diagnostic message.
+func nodeText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return nodeText(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return nodeText(x.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return "(" + nodeText(x.X) + ")"
+	case *ast.StarExpr:
+		return "*" + nodeText(x.X)
+	case *ast.IndexExpr:
+		return nodeText(x.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

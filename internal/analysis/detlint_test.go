@@ -1,0 +1,38 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"bebop/internal/analysis"
+	"bebop/internal/analysis/analysistest"
+)
+
+func TestDetlint(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.Detlint, "det")
+}
+
+func TestDetlintMatchesOnlyDetCriticalPackages(t *testing.T) {
+	match := analysis.Detlint.Match
+	for _, path := range []string{
+		"bebop/internal/pipeline",
+		"bebop/internal/pipeline/sub",
+		"bebop/internal/predictor",
+		"bebop/internal/branch",
+		"bebop/internal/cache",
+		"bebop/internal/core",
+	} {
+		if !match(path) {
+			t.Errorf("Match(%q) = false, want true", path)
+		}
+	}
+	for _, path := range []string{
+		"bebop/internal/telemetry",
+		"bebop/internal/pipelineutil", // prefix of a root, but a different package
+		"bebop/sim",
+		"bebop/examples/demo",
+	} {
+		if match(path) {
+			t.Errorf("Match(%q) = true, want false", path)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The escape cross-check closes the gap hotalloc's syntactic rules leave
+// open: it reruns the real compiler escape analysis (-m) over every
+// package containing //bebop:hotpath functions and reports any value the
+// compiler heap-allocates inside an annotated function's body. Because
+// `go build` swallows -m output on cache hits, the check drives
+// `go tool compile -importcfg` directly — always fresh, and it only
+// recompiles the packages under test.
+
+// escapeLine matches the two -m phrases that mean a heap allocation.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*(?:escapes to heap|moved to heap).*)$`)
+
+// CheckEscapes compiles each loaded package that contains hotpath
+// functions with -m and returns a Diagnostic for every heap allocation
+// the compiler places inside an annotated function.
+func CheckEscapes(dir string, pkgs []*Package) ([]Diagnostic, error) {
+	// Export data for the full dependency closure, one go list walk.
+	deps, err := goList(dir, "list", "-e", "-export", "-deps", "-json=ImportPath,Export", "./...")
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := writeImportcfg(deps)
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(cfg)
+
+	var diags []Diagnostic
+	for _, lp := range pkgs {
+		ranges := hotpathRanges(lp)
+		if len(ranges) == 0 {
+			continue
+		}
+		out, err := compileWithM(cfg, lp)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, matchEscapes(out, ranges)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return diags, nil
+}
+
+// funcRange is the file span of one annotated function.
+type funcRange struct {
+	file       string
+	start, end int // line numbers, inclusive
+	name       string
+}
+
+func hotpathRanges(lp *Package) []funcRange {
+	var out []funcRange
+	for _, f := range lp.Files {
+		for _, fd := range HotpathFuncs(f) {
+			if fd.Body == nil {
+				continue
+			}
+			start := lp.Fset.Position(fd.Body.Pos())
+			end := lp.Fset.Position(fd.Body.End())
+			out = append(out, funcRange{
+				file:  filepath.Clean(start.Filename),
+				start: start.Line,
+				end:   end.Line,
+				name:  funcDisplayName(fd),
+			})
+		}
+	}
+	return out
+}
+
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil {
+		return "(" + receiverTypeName(fd) + ")." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+func writeImportcfg(deps []listEntry) (string, error) {
+	var b bytes.Buffer
+	for _, d := range deps {
+		if d.Export != "" {
+			fmt.Fprintf(&b, "packagefile %s=%s\n", d.ImportPath, d.Export)
+		}
+	}
+	f, err := os.CreateTemp("", "bebop-lint-importcfg-*")
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(b.Bytes()); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return "", err
+	}
+	return f.Name(), nil
+}
+
+// compileWithM invokes the compiler on one package with -m=1 and
+// returns its stderr. The object file is discarded.
+func compileWithM(importcfg string, lp *Package) (string, error) {
+	obj, err := os.CreateTemp("", "bebop-lint-*.o")
+	if err != nil {
+		return "", err
+	}
+	obj.Close()
+	defer os.Remove(obj.Name())
+
+	args := []string{"tool", "compile",
+		"-p", lp.PkgPath,
+		"-importcfg", importcfg,
+		"-m=1",
+		"-o", obj.Name(),
+	}
+	args = append(args, lp.GoFiles...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go tool compile -m %s: %v\n%s", lp.PkgPath, err, stderr.String())
+	}
+	return stderr.String(), nil
+}
+
+func matchEscapes(compilerOut string, ranges []funcRange) []Diagnostic {
+	var diags []Diagnostic
+	sc := bufio.NewScanner(strings.NewReader(compilerOut))
+	for sc.Scan() {
+		m := escapeLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		file := filepath.Clean(m[1])
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		for _, r := range ranges {
+			if file == r.file && line >= r.start && line <= r.end {
+				diags = append(diags, Diagnostic{
+					Pos:      token.Position{Filename: file, Line: line, Column: col},
+					Analyzer: "hotalloc/escape",
+					Message:  fmt.Sprintf("compiler escape analysis: %s inside //bebop:hotpath %s", m[4], r.name),
+				})
+				break
+			}
+		}
+	}
+	return diags
+}

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Hotalloc enforces the allocation discipline on functions annotated
+//
+//	//bebop:hotpath
+//
+// (the pipeline stage loop, the engine cache lookup, telemetry counters,
+// the trace reader). PR 2 took one 50K-inst run from ~122,700 allocs to
+// ~285 and the telemetry core is pinned at 0 allocs/op; those numbers
+// are guarded by runtime tests, but a regression only trips them on the
+// exact benchmark profile that exercises the new allocation. Hotalloc
+// rejects the allocating construct itself: heap-bound composite
+// literals, make/new, append, capturing closures, interface
+// conversions (explicit or at a call boundary), goroutine/defer
+// launches, and non-constant string concatenation. The -escape mode of
+// cmd/bebop-lint additionally cross-checks annotated functions against
+// the compiler's real escape analysis (-gcflags=-m).
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocating constructs in //bebop:hotpath functions",
+	Run:  runHotalloc,
+}
+
+const hotpathDirective = "//bebop:hotpath"
+
+// HotpathFuncs returns the annotated functions of a file along with
+// their names, for both the analyzer and the escape cross-check.
+func HotpathFuncs(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			if strings.HasPrefix(c.Text, hotpathDirective) {
+				out = append(out, fd)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func runHotalloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, fd := range HotpathFuncs(f) {
+			if fd.Body != nil {
+				checkHotBody(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(), "%s literal allocates on the hot path; hoist it to a reused buffer on the receiver", typeKind(t))
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal escapes to the heap on the hot path; reuse a preallocated value instead")
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, n)
+		case *ast.FuncLit:
+			if capturesOuter(pass, n) {
+				pass.Reportf(n.Pos(), "capturing closure allocates on the hot path; pass state explicitly or hoist the closure out of the hot loop")
+			}
+			return false // don't descend: the literal runs elsewhere
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "goroutine launch on the hot path allocates and is scheduler-ordered; move concurrency to the interval/job layer")
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer on the hot path allocates its frame per call; use explicit cleanup")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(info, n) {
+				pass.Reportf(n.Pos(), "string concatenation allocates on the hot path")
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	// Builtins make/new always allocate.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, isB := info.ObjectOf(id).(*types.Builtin); isB {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s allocates on the hot path; size the buffer at construction time", b.Name())
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow and allocate on the hot path; write through a preallocated ring or slice (//bebop:allow hotalloc if capacity is provably reserved)")
+			}
+			return
+		}
+	}
+	// Explicit conversions: T(x) to an interface boxes; string <-> []byte
+	// / []rune copies.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		at := info.TypeOf(call.Args[0])
+		if at == nil {
+			return
+		}
+		if types.IsInterface(tv.Type) && !types.IsInterface(at) && !isNil(info, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion of %s to interface %s allocates on the hot path", at, tv.Type)
+		}
+		if isStringByteConv(tv.Type, at) {
+			pass.Reportf(call.Pos(), "conversion between %s and %s copies the data on the hot path; keep one representation", at, tv.Type)
+		}
+		return
+	}
+	// Concrete argument passed to an interface parameter boxes the value.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() && i == params.Len()-1 {
+				pt = params.At(params.Len() - 1).Type() // pass-through slice, no boxing
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) || types.IsInterface(safeTypeOf(info, arg)) || isNil(info, arg) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s as interface %s boxes the value on the hot path", safeTypeOf(info, arg), pt)
+	}
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= params.Len() {
+		pass.Reportf(call.Pos(), "variadic call materializes its argument slice on the hot path")
+	}
+}
+
+func safeTypeOf(info *types.Info, e ast.Expr) types.Type {
+	if t := info.TypeOf(e); t != nil {
+		return t
+	}
+	return types.Typ[types.Invalid]
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// isStringByteConv reports a string <-> []byte / []rune conversion.
+func isStringByteConv(to, from types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		e, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune ||
+			e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+	}
+	return (isStr(to) && isByteSlice(from)) || (isByteSlice(to) && isStr(from))
+}
+
+func isNonConstString(info *types.Info, b *ast.BinaryExpr) bool {
+	t := info.TypeOf(b)
+	if t == nil {
+		return false
+	}
+	if basic, ok := t.Underlying().(*types.Basic); !ok || basic.Info()&types.IsString == 0 {
+		return false
+	}
+	tv, ok := info.Types[b]
+	return !(ok && tv.Value != nil) // constant-folded concatenation is free
+}
+
+// capturesOuter reports whether a function literal references variables
+// declared outside itself (a closure the compiler must heap-allocate
+// together with its captures, unless proven otherwise).
+func capturesOuter(pass *Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var)
+		if !ok || v.IsField() || v.Pos() == token.NoPos {
+			return true
+		}
+		if v.Parent() == nil || v.Parent().Parent() == types.Universe {
+			return true // package-level
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func typeKind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	default:
+		return "composite"
+	}
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"bebop/internal/analysis"
+	"bebop/internal/analysis/analysistest"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.Hotalloc, "hot")
+}

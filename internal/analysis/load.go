@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	GoFiles []string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList invokes the go command and decodes its JSON stream.
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %v: %v\n%s", args, err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("go %v: decoding output: %v", args, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// ListExports maps every package in the patterns' dependency closure to
+// its export-data file (building it if needed). The analysistest
+// fixture loader uses it to resolve standard-library imports.
+func ListExports(dir string, patterns ...string) (map[string]string, error) {
+	deps, err := goList(dir, append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, d := range deps {
+		if d.Export != "" {
+			exports[d.ImportPath] = d.Export
+		}
+	}
+	return exports, nil
+}
+
+// Load resolves the given `go list` patterns from dir, type-checks every
+// matched package from source (dependencies are imported through the
+// toolchain's export data, so only the analyzed packages are re-parsed)
+// and returns them in listing order.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	// One -deps walk supplies export data for the whole import closure.
+	deps, err := goList(dir, append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, d := range deps {
+		if d.Export != "" {
+			exports[d.ImportPath] = d.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (build the package first)", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		lp, err := typecheck(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// typecheck parses and type-checks one package from source.
+func typecheck(fset *token.FileSet, imp types.Importer, pkgPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	var paths []string
+	for _, name := range goFiles {
+		p := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", p, err)
+		}
+		files = append(files, f)
+		paths = append(paths, p)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		GoFiles: paths,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}

@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"bebop/internal/analysis"
+	"bebop/internal/analysis/analysistest"
+)
+
+// TestSnaplint covers the basic uncovered-field shape, whole-receiver
+// copies, transitive coverage through helper methods, construction-
+// method exemption, //bebop:nosnap, and the PR-2 PolicyRepred
+// use-after-free regression (free-list pool + generation counter
+// missing from the checkpoint pair).
+func TestSnaplint(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.Snaplint, "snap")
+}

@@ -1,0 +1,16 @@
+// Command demo is the consumer-side fixture: importing bebop/sim is the
+// supported path; any bebop/internal import — named, renamed, or blank —
+// is a boundary violation.
+package main
+
+import (
+	"bebop/sim"
+
+	pl "bebop/internal/pipeline" // want `consumer package imports bebop/internal/pipeline; external code may depend only on bebop/sim`
+)
+
+func main() {
+	cfg := sim.NewConfig(4)
+	_ = cfg
+	_ = pl.Tuner{}
+}

@@ -1,0 +1,22 @@
+// Package pipeline is a fixture stub of bebop/internal/pipeline: just
+// enough exported surface for the boundarylint fixtures to leak.
+package pipeline
+
+// Config is re-exported by the sim fixture as an alias: permitted.
+type Config struct {
+	Width int
+	Depth int
+}
+
+// Tuner is NOT aliased by sim: exposing it is a boundary leak.
+type Tuner struct {
+	Target float64
+}
+
+// Knobs is aliased by sim and reachable from its Report: untagged
+// fields here marshal under their Go names, which the frozen schema
+// goldens pin — the alias exempts them from the snake_case rule.
+type Knobs struct {
+	FetchWidth int
+	IssueWidth int
+}

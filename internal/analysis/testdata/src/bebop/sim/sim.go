@@ -1,0 +1,63 @@
+// Package sim is a fixture stub of the bebop/sim SDK facade exercising
+// both boundarylint surface rules: internal types may cross the exported
+// surface only as sanctioned aliases, and everything reachable from
+// Report must carry snake_case JSON tags.
+package sim
+
+import "bebop/internal/pipeline"
+
+// Config is the sanctioned re-export: the alias makes pipeline.Config
+// part of the supported surface under a public name.
+type Config = pipeline.Config
+
+// Knobs is aliased AND reachable from Report: its untagged CamelCase
+// fields are frozen history, not findings.
+type Knobs = pipeline.Knobs
+
+// NewConfig uses only the alias-permitted type: conforming.
+func NewConfig(width int) Config {
+	return Config{Width: width, Depth: 2 * width}
+}
+
+// NewTuner hands out an internal type sim never aliased.
+func NewTuner() *pipeline.Tuner { // want `func NewTuner leaks internal type bebop/internal/pipeline.Tuner`
+	return &pipeline.Tuner{}
+}
+
+// Runner leaks through a field and a method.
+type Runner struct {
+	Tuner *pipeline.Tuner // want `field Runner.Tuner leaks internal type bebop/internal/pipeline.Tuner`
+
+	cfg Config // unexported: not part of the surface
+}
+
+// Swap leaks through a parameter.
+func (r *Runner) Swap(t *pipeline.Tuner) {} // want `method \(Runner\).Swap leaks internal type bebop/internal/pipeline.Tuner`
+
+// Run returns the wire-format report: conforming signature.
+func (r *Runner) Run() Report {
+	return Report{}
+}
+
+// Report is the wire format; every exported reachable field needs a
+// snake_case json key or an explicit "-".
+type Report struct {
+	IPC      float64  `json:"ipc"`
+	Interval Interval `json:"interval"`
+	Bad      int      // want `field Report.Bad is reachable from sim.Report but has no json tag`
+	Camel    int      `json:"CamelCase"`  // want `field Report.Camel has json key "CamelCase"; the report schema is snake_case`
+	Empty    int      `json:",omitempty"` // want `field Report.Empty has a json tag with an empty key`
+	Skipped  *Hidden  `json:"-"`
+	Legacy   Knobs    `json:"legacy"`
+}
+
+// Interval is reachable from Report: its fields are checked too.
+type Interval struct {
+	Count int `json:"count"`
+	Miss  int // want `field Interval.Miss is reachable from sim.Report but has no json tag`
+}
+
+// Hidden sits behind a json:"-" field: never marshaled, never checked.
+type Hidden struct {
+	Whatever int
+}

@@ -1,0 +1,103 @@
+// Package det exercises every detlint rule: violating and conforming
+// forms side by side.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type result struct {
+	Total int
+	IPC   float64
+}
+
+// mapOrder ranges over a map whose order reaches the returned slice.
+func mapOrder(counts map[uint64]int) []uint64 {
+	var out []uint64
+	for pc := range counts { // want "range over map counts has nondeterministic iteration order"
+		out = append(out, pc)
+	}
+	return out
+}
+
+// mapOrderSorted is the conforming form: keys extracted, then sorted.
+func mapOrderSorted(counts map[uint64]int) []uint64 {
+	var keys []uint64
+	//bebop:allow detlint -- keys are sorted below before any consumer sees them
+	for pc := range counts {
+		keys = append(keys, pc)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// wallClock reads the wall clock into simulation-visible state.
+func wallClock(r *result) {
+	r.Total = int(time.Now().Unix()) // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond)     // want `time.Sleep reads the wall clock`
+}
+
+// durationMath uses time only for unit arithmetic: conforming.
+func durationMath(cycles int64) time.Duration {
+	return time.Duration(cycles) * time.Nanosecond
+}
+
+// globalRand draws from the process-global source.
+func globalRand() int {
+	return rand.Intn(8) // want `math/rand.Intn draws from the process-global source`
+}
+
+// seededRand owns an explicitly seeded local source: conforming.
+func seededRand() int {
+	rng := rand.New(rand.NewSource(42))
+	return rng.Intn(8)
+}
+
+// racyFanOut writes captured state from goroutines: scheduler-ordered.
+func racyFanOut(rs []result) result {
+	var total result
+	done := make(chan struct{})
+	for i := range rs {
+		go func(i int) {
+			total.Total += rs[i].Total // want "write to captured total inside a goroutine"
+			done <- struct{}{}
+		}(i)
+	}
+	for range rs {
+		<-done
+	}
+	return total
+}
+
+// indexedFanOut writes disjoint indices from goroutines and reduces in
+// index order: the repo's deterministic fan-out idiom, conforming.
+func indexedFanOut(rs []result) result {
+	outs := make([]result, len(rs))
+	done := make(chan struct{})
+	for i := range rs {
+		go func(i int) {
+			outs[i] = rs[i]
+			done <- struct{}{}
+		}(i)
+	}
+	for range rs {
+		<-done
+	}
+	var total result
+	for i := range outs {
+		total.Total += outs[i].Total
+	}
+	return total
+}
+
+// bareDirective is missing its mandatory justification: the directive
+// itself is a finding, and it does not suppress the map-range one.
+func bareDirective(counts map[int]int) int {
+	n := 0
+	for range counts { //bebop:allow detlint // want `needs a justification` `range over map counts`
+		n++
+	}
+	return n
+}

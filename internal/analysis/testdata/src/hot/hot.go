@@ -1,0 +1,86 @@
+// Package hot exercises hotalloc: every allocating construct inside a
+// //bebop:hotpath function, plus the same constructs unannotated (no
+// findings) and the //bebop:allow escape hatch.
+package hot
+
+type pair struct {
+	a, b int
+}
+
+type ring struct {
+	buf []int
+	w   int
+}
+
+func sink(v any) { _ = v }
+func sumv(vs ...int) int {
+	t := 0
+	for _, v := range vs {
+		t += v
+	}
+	return t
+}
+func work()    {}
+func cleanup() {}
+
+// lookup is a conforming hot function: index math, field writes, a
+// pass-through variadic call — nothing allocates.
+//
+//bebop:hotpath
+func (r *ring) lookup(i int, vs []int) int {
+	r.buf[r.w] = i
+	r.w = (r.w + 1) % len(r.buf)
+	return r.buf[i%len(r.buf)] + sumv(vs...)
+}
+
+// violations packs one instance of every construct hotalloc rejects.
+//
+//bebop:hotpath
+func violations(name string, s string, x int) string {
+	lit := []int{1, 2}     // want `slice literal allocates on the hot path`
+	m := map[int]int{}     // want `map literal allocates on the hot path`
+	p := &pair{a: 1, b: 2} // want `&composite literal escapes to the heap on the hot path`
+	buf := make([]int, 8)  // want `make allocates on the hot path`
+	q := new(pair)         // want `new allocates on the hot path`
+	buf = append(buf, x)   // want `append may grow and allocate on the hot path`
+	total := 0
+	inc := func() { total++ } // want `capturing closure allocates on the hot path`
+	inc()
+	go work()         // want `goroutine launch on the hot path allocates`
+	defer cleanup()   // want `defer on the hot path allocates its frame per call`
+	msg := name + "!" // want `string concatenation allocates on the hot path`
+	v := any(x)       // want `conversion of int to interface`
+	b := []byte(s)    // want `conversion between string and \[\]byte copies the data on the hot path`
+	sink(x)           // want `passing int as interface .* boxes the value on the hot path`
+	_ = sumv(1, 2, 3) // want `variadic call materializes its argument slice on the hot path`
+	_, _, _, _, _, _, _, _ = lit, m, p, buf, q, msg, v, b
+	return msg
+}
+
+// allowed shows the justified escape hatch: capacity is reserved, so the
+// append cannot grow.
+//
+//bebop:hotpath
+func (r *ring) allowed(x int) {
+	//bebop:allow hotalloc -- capacity reserved by the ring constructor; append never grows
+	r.buf = append(r.buf, x)
+}
+
+// coldTwin repeats the allocating constructs without the annotation:
+// hotalloc is opt-in, so none of this is a finding.
+func coldTwin(name string, s string, x int) string {
+	lit := []int{1, 2}
+	m := map[int]int{}
+	p := &pair{a: 1, b: 2}
+	buf := make([]int, 8)
+	buf = append(buf, x)
+	total := 0
+	inc := func() { total++ }
+	inc()
+	go work()
+	defer cleanup()
+	sink(x)
+	b := []byte(s)
+	_, _, _, _, _ = lit, m, p, buf, b
+	return name + "!"
+}

@@ -1,0 +1,62 @@
+package snap
+
+// FIFO reproduces the PR-2 PolicyRepred bug shape: predictions recycled
+// through a free list with a generation counter. The pool and the
+// generation evolve on every retire/flush but were forgotten by the
+// checkpoint pair, so a restored run handed out stale entries — the
+// use-after-free that snaplint exists to catch before runtime.
+
+type predEntry struct {
+	pc   uint64
+	pred uint64
+	gen  uint32
+}
+
+type FIFO struct {
+	q    []predEntry
+	head int
+	tail int
+	pool []*predEntry // want `field FIFO.pool is written by \(FIFO\).OnFlush but missing from \(FIFO\).Snapshot and \(FIFO\).Restore`
+	gen  uint32       // want `field FIFO.gen is written by \(FIFO\).OnFlush but missing from \(FIFO\).Snapshot and \(FIFO\).Restore`
+}
+
+// FIFOSnapshot covers the queue but not the recycling state.
+type FIFOSnapshot struct {
+	Q    []predEntry
+	Head int
+	Tail int
+}
+
+// OnFlush recycles every in-flight entry: pool and gen evolve.
+func (f *FIFO) OnFlush() {
+	for i := f.head; i != f.tail; i = (i + 1) % len(f.q) {
+		e := f.q[i]
+		e.gen = f.gen
+		f.pool = append(f.pool, &e)
+	}
+	f.gen++
+	f.head = f.tail
+}
+
+// OnRetire pops the oldest prediction and recycles it.
+func (f *FIFO) OnRetire() *predEntry {
+	if f.head == f.tail {
+		return nil
+	}
+	e := f.q[f.head]
+	f.head = (f.head + 1) % len(f.q)
+	f.pool = append(f.pool, &e)
+	return &e
+}
+
+// Snapshot forgets pool and gen.
+func (f *FIFO) Snapshot() *FIFOSnapshot {
+	return &FIFOSnapshot{Q: append([]predEntry(nil), f.q...), Head: f.head, Tail: f.tail}
+}
+
+// Restore forgets them too: restored runs reuse stale entries.
+func (f *FIFO) Restore(s *FIFOSnapshot) {
+	copy(f.q, s.Q)
+	f.head = s.Head
+	f.tail = s.Tail
+}

@@ -1,0 +1,104 @@
+// Package snap exercises snaplint: field coverage of Snapshot/Restore
+// pairs, whole-receiver copies, transitive coverage through helper
+// methods, construction-method exclusion, and //bebop:nosnap.
+package snap
+
+// Table is the basic violating shape: three evolving fields, snapshot
+// and restore cover only two.
+type Table struct {
+	ctr  []int8
+	tick int
+	hits uint64 // want `field Table.hits is written by \(Table\).Update but missing from \(Table\).Snapshot and \(Table\).Restore`
+}
+
+// TableSnapshot is the serialized form.
+type TableSnapshot struct {
+	Ctr  []int8
+	Tick int
+}
+
+// Update is the hot-path state evolution.
+func (t *Table) Update(i int, up int8) {
+	t.ctr[i] += up
+	t.tick++
+	t.hits++
+}
+
+// Snapshot forgets hits.
+func (t *Table) Snapshot() *TableSnapshot {
+	return &TableSnapshot{Ctr: append([]int8(nil), t.ctr...), Tick: t.tick}
+}
+
+// Restore forgets hits too.
+func (t *Table) Restore(s *TableSnapshot) error {
+	copy(t.ctr, s.Ctr)
+	t.tick = s.Tick
+	return nil
+}
+
+// Reset writes everything, but construction methods are exempt: a field
+// only Reset writes is configuration, not evolving state.
+func (t *Table) Reset() {
+	for i := range t.ctr {
+		t.ctr[i] = 0
+	}
+	t.tick = 0
+	t.hits = 0
+}
+
+// History is conforming via whole-receiver copies.
+type History struct {
+	dir  uint64
+	path uint64
+	// derived cache, recomputed on restore
+	//bebop:nosnap pure function of dir, recomputed by Restore
+	folded uint64
+}
+
+// Push evolves every field.
+func (h *History) Push(bit uint64) {
+	h.dir = h.dir<<1 | bit
+	h.path += bit
+	h.folded ^= h.dir
+}
+
+// Snapshot copies the whole receiver: every field covered.
+func (h *History) Snapshot() History { return *h }
+
+// Restore overwrites the whole receiver and recomputes the fold.
+func (h *History) Restore(s History) {
+	*h = s
+	h.folded = h.dir ^ (h.dir >> 1)
+}
+
+// Stack is conforming via transitive coverage: Snapshot delegates to a
+// helper method that touches each field.
+type Stack struct {
+	vals []uint64
+	top  int
+}
+
+// StackSnapshot is the serialized form.
+type StackSnapshot struct {
+	Vals []uint64
+	Top  int
+}
+
+// Push evolves both fields.
+func (s *Stack) Push(v uint64) {
+	s.vals[s.top] = v
+	s.top++
+}
+
+// Snapshot delegates.
+func (s *Stack) Snapshot() *StackSnapshot { return s.capture() }
+
+func (s *Stack) capture() *StackSnapshot {
+	return &StackSnapshot{Vals: append([]uint64(nil), s.vals...), Top: s.top}
+}
+
+// Restore covers both directly.
+func (s *Stack) Restore(snap *StackSnapshot) {
+	copy(s.vals, snap.Vals)
+	s.top = snap.Top
+}

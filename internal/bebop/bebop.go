@@ -61,6 +61,7 @@ type BlockVP struct {
 	// predictions the next fetch of the same block reuses (DnRR/DnRDnR).
 	reuseRec *blockRec
 
+	//bebop:nosnap free list of recycled records; checkpoints require a drained pipeline, so no live block references it
 	pool  []*blockRec
 	stats pipeline.VPStats
 }

@@ -47,12 +47,12 @@ type TAGECompSnapshot struct {
 // are state too: a restored run must continue the counters it would
 // have had, or differential tests comparing Results would diverge).
 type TAGESnapshot struct {
-	Base       []int8
-	Comps      []TAGECompSnapshot
-	UseAltOnNA int8
-	Tick       int
-	RNGState   uint64
-	Lookups    uint64
+	Base        []int8
+	Comps       []TAGECompSnapshot
+	UseAltOnNA  int8
+	Tick        int
+	RNGState    uint64
+	Lookups     uint64
 	Mispredicts uint64
 }
 

@@ -307,6 +307,7 @@ type StridePrefetcher struct {
 	entries [256]strideEntry
 	// buf is the reusable prefetch-line buffer returned by Observe; the
 	// caller must consume it before the next Observe call.
+	//bebop:nosnap scratch output buffer, fully rewritten by every Observe; never live across a drained-checkpoint boundary
 	buf []uint64
 }
 

@@ -17,7 +17,6 @@ package engine
 
 import (
 	"context"
-	"hash/fnv"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -179,11 +178,21 @@ func New[V any](opts Options) *Engine[V] {
 // Workers reports the size of the worker pool.
 func (e *Engine[V]) Workers() int { return cap(e.sem) }
 
-// shardFor maps a cache key onto its stripe with FNV-1a.
+// shardFor maps a cache key onto its stripe with FNV-1a, computed
+// inline over the string: the hash/fnv API would heap-allocate its
+// state and a []byte copy of the key on every cache lookup.
+//
+//bebop:hotpath
 func (e *Engine[V]) shardFor(key string) *shard[V] {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &e.shards[h.Sum32()%uint32(len(e.shards))]
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * prime32
+	}
+	return &e.shards[h%uint32(len(e.shards))]
 }
 
 // RunBatch schedules every job, waits for all of them, and returns their

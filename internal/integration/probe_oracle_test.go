@@ -227,7 +227,7 @@ func oracleVPStride(mk core.ConfigFactory, strideBits int) error {
 // ramp phases and coverage decays toward (maxLen/2+1)/period.
 func oracleVPHistory(mk core.ConfigFactory, maxLen int) error {
 	learnP := (maxLen/2 + 1) / 4 // 2P-1 at ~1/4 of the longest history
-	collapseP := maxLen*3/2      // 2P-1 at 3x the longest history
+	collapseP := maxLen * 3 / 2  // 2P-1 at 3x the longest history
 
 	warm, insts := int64(150_000), budget(250_000)
 	res, _, err := runProbePoint("vp-history", learnP, warm, insts, mk)

@@ -148,6 +148,7 @@ func mergeEntries(a, b []H2PEntry, topN int) []H2PEntry {
 		byPC[e.PC] += e.Mispredicts
 	}
 	out := make([]H2PEntry, 0, len(byPC))
+	//bebop:allow detlint -- iteration order cannot escape: entries are re-sorted by sortH2P (total order on count, then PC) before truncation
 	for pc, n := range byPC {
 		out = append(out, H2PEntry{PC: pc, Mispredicts: n})
 	}

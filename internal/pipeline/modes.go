@@ -222,6 +222,8 @@ func (p *Processor) flushWarmingBlock(vpw VPWarmer) {
 
 // stepDetailed runs the detailed cycle loop until insts more instructions
 // retire or the stream ends, returning how many retired.
+//
+//bebop:hotpath
 func (p *Processor) stepDetailed(insts int64) int64 {
 	start := p.stats.Insts
 	target := start + uint64(insts)

@@ -307,6 +307,8 @@ func (p *Processor) Run(maxCycles int64) Result {
 // instructions from all reported statistics: caches, branch predictor and
 // value predictor train during warmup, and measurement starts only at the
 // boundary (the methodology of Section V-C).
+//
+//bebop:hotpath
 func (p *Processor) RunWarm(warmupInsts, maxCycles int64) Result {
 	for {
 		p.commitStage()

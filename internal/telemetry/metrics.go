@@ -40,9 +40,13 @@ type Counter struct {
 }
 
 // Add increments the counter. Lock-free, allocation-free.
+//
+//bebop:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Inc adds one.
+//
+//bebop:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.
@@ -54,9 +58,13 @@ type Gauge struct {
 }
 
 // Set replaces the value. Lock-free, allocation-free.
+//
+//bebop:hotpath
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add moves the gauge by delta (may be negative).
+//
+//bebop:hotpath
 func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 
 // Value returns the current value.
@@ -75,6 +83,8 @@ type Histogram struct {
 
 // Observe records one sample. Lock-free, allocation-free: a linear scan
 // over the (small, fixed) bounds slice, two atomic adds and a CAS loop.
+//
+//bebop:hotpath
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {

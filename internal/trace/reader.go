@@ -175,7 +175,10 @@ func (r *Reader) SetLimit(n int64) {
 	r.returned = 0
 }
 
-// Next implements isa.Stream.
+// Next implements isa.Stream. It is the replay hot read: one call per
+// dynamic instruction, steady-state allocation-free.
+//
+//bebop:hotpath
 func (r *Reader) Next(in *isa.Inst) bool {
 	if r.err != nil || r.eof {
 		return false
@@ -194,6 +197,7 @@ func (r *Reader) Next(in *isa.Inst) bool {
 	}
 	r.frameRem--
 	if r.frameRem == 0 && r.dec.pos != len(r.dec.buf) {
+		//bebop:allow hotalloc -- terminal corruption path: allocates once and the reader is dead afterwards
 		r.err = formatErr("frame payload has %d trailing bytes", len(r.dec.buf)-r.dec.pos)
 		return false
 	}
